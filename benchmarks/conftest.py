@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs the reduced sweep by default (see DESIGN.md §5); set
+``REPRO_SCALE=full`` to run the paper-scale sweeps.  Heavy end-to-end attack
+simulations use ``benchmark.pedantic`` with a single round so the whole
+benchmark suite completes in minutes on a laptop.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def small_attack_n() -> int:
+    """Smallest committee size that supports the d = ceil(5n/9) - 1 coalition."""
+    return 9

@@ -1,0 +1,62 @@
+"""Figure 4: disagreeing decisions per number of replicas under both attacks.
+
+Each benchmark runs one attack cell (one committee size, one delay) end to end
+through the message-level simulator: coalition of d = ceil(5n/9) - 1 deceitful
+replicas, partitioned honest replicas, accountability, membership change.
+"""
+
+import pytest
+
+from repro.experiments.fig4_disagreements import run_attack_cell
+
+
+@pytest.mark.parametrize("delay", ["1000ms", "500ms", "gamma"])
+def test_bench_fig4_binary_attack(benchmark, small_attack_n, delay):
+    result = benchmark.pedantic(
+        run_attack_cell,
+        kwargs={
+            "n": small_attack_n,
+            "attack_kind": "binary",
+            "cross_partition_delay": delay,
+            "instances": 2,
+        },
+        rounds=1,
+    )
+    benchmark.extra_info["delay"] = delay
+    benchmark.extra_info["disagreements"] = result.disagreements
+    benchmark.extra_info["recovered"] = result.recovered
+    # Under slow cross-partition links the coalition forces disagreements and
+    # ZLB recovers by excluding at least ceil(n/3) deceitful replicas.
+    if delay == "1000ms":
+        assert result.disagreements > 0
+        assert result.recovered
+        assert len(result.excluded) >= small_attack_n // 3
+
+
+@pytest.mark.parametrize("delay", ["1000ms", "500ms"])
+def test_bench_fig4_reliable_broadcast_attack(benchmark, small_attack_n, delay):
+    result = benchmark.pedantic(
+        run_attack_cell,
+        kwargs={
+            "n": small_attack_n,
+            "attack_kind": "rbbcast",
+            "cross_partition_delay": delay,
+            "instances": 2,
+        },
+        rounds=1,
+    )
+    benchmark.extra_info["delay"] = delay
+    benchmark.extra_info["disagreements"] = result.disagreements
+    benchmark.extra_info["recovered"] = result.recovered
+
+
+def test_fig4_shape_disagreements_decrease_with_scale():
+    """The paper's scalability phenomenon: more replicas, fewer disagreements.
+
+    With the same relative deceitful ratio and the same injected delays, the
+    attack window shrinks as the committee (and thus the attackers' exposure)
+    grows.  We compare the smallest and a larger committee on the same seed.
+    """
+    small = run_attack_cell(9, "binary", "1000ms", seed=1, instances=2)
+    large = run_attack_cell(15, "binary", "1000ms", seed=1, instances=2)
+    assert small.disagreements >= large.disagreements

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``, which
+works offline without building a wheel.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""The deceitful adversary: coalition configuration and coalition attacks.
+
+The paper's threat model (§3.2) distinguishes *deceitful* replicas, which send
+protocol-violating messages to try to create disagreements, from *benign*
+replicas, which merely stop contributing.  Appendix B describes the two
+coalition attacks mounted against the SBC solution:
+
+* the **reliable broadcast attack** — deceitful proposers (and echoers) send
+  different proposals to different partitions of honest replicas;
+* the **binary consensus attack** — deceitful replicas vote for different
+  binary values in different partitions of honest replicas.
+
+Both are implemented as :class:`~repro.adversary.behaviors.AttackStrategy`
+objects installed on deceitful replicas; honest protocol code is unchanged.
+"""
+
+from repro.adversary.behaviors import AttackStrategy, PassiveStrategy
+from repro.adversary.attacks import (
+    BinaryConsensusAttack,
+    ReliableBroadcastAttack,
+    attack_from_name,
+)
+from repro.adversary.coalition import CoalitionPlan
+
+__all__ = [
+    "AttackStrategy",
+    "PassiveStrategy",
+    "BinaryConsensusAttack",
+    "ReliableBroadcastAttack",
+    "attack_from_name",
+    "CoalitionPlan",
+]

@@ -1,0 +1,235 @@
+"""The two coalition attacks of Appendix B.
+
+Both attacks equivocate towards the partitions of honest replicas defined by a
+:class:`~repro.adversary.coalition.CoalitionPlan`:
+
+* :class:`BinaryConsensusAttack` rewrites the coalition's BVAL/AUX votes on the
+  binary consensus instances of the attacked slots so that each partition is
+  pushed towards a different bit — "deceitful replicas vote for each binary
+  value in each of two partitions for the same binary consensus".
+* :class:`ReliableBroadcastAttack` rewrites the coalition's INIT/ECHO/READY
+  messages on the reliable broadcasts of the coalition's own proposal slots so
+  that each partition delivers a different proposal — "deceitful replicas
+  misbehave during the reliable broadcast by sending different proposals to
+  different partitions".
+
+Because every rewritten vote is *signed* by the deceitful replica, the
+equivocation leaves exactly the cryptographic trace that the accountability
+layer later turns into proofs of fraud.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ReplicaId
+from repro.adversary.behaviors import AttackStrategy
+from repro.adversary.coalition import CoalitionPlan
+from repro.consensus.binary import BinaryConsensus, value_digest
+from repro.consensus.certificates import VoteKind, make_vote
+from repro.crypto.hashing import hash_payload
+from repro.rbc.bracha import ReliableBroadcast
+
+_BINARY_CONTEXT = re.compile(r":bin:(\d+)$")
+_RBC_CONTEXT = re.compile(r":rbc:(\d+)$")
+
+
+def _slot_of(protocol: str, pattern: re.Pattern) -> Optional[int]:
+    match = pattern.search(protocol)
+    if match is None:
+        return None
+    return int(match.group(1))
+
+
+class BinaryConsensusAttack(AttackStrategy):
+    """Per-partition equivocation on the binary consensus of attacked slots.
+
+    For an attacked slot ``j`` and a partition ``p``, the coalition votes 1
+    when ``j % branches == p`` and 0 otherwise, so each partition is steered
+    towards a different subset of included proposals (up to ``branches``
+    distinct decisions, the Appendix B bound).
+    """
+
+    name = "binary-consensus"
+
+    def __init__(self, plan: CoalitionPlan, attacked_slots: Optional[Sequence[ReplicaId]] = None):
+        self.plan = plan
+        self.attacked_slots = (
+            frozenset(attacked_slots)
+            if attacked_slots is not None
+            else frozenset(plan.deceitful)
+        )
+        if not self.attacked_slots:
+            raise ConfigurationError("binary consensus attack needs attacked slots")
+
+    def value_for(self, slot: ReplicaId, partition_index: int) -> int:
+        """The bit the coalition pushes for ``slot`` towards ``partition_index``."""
+        branches = max(1, self.plan.num_branches)
+        return 1 if slot % branches == partition_index else 0
+
+    def filter_incoming(self, replica: Any, message: Any) -> bool:
+        """Ignore DECIDE certificates on attacked slots.
+
+        Adopting one partition's decision would make the coalition stop voting
+        and starve the other partition's later rounds; a real attacker keeps
+        equivocating until every partition has decided its pushed value.
+        """
+        slot = _slot_of(message.protocol, _BINARY_CONTEXT)
+        if slot is not None and slot in self.attacked_slots:
+            if message.kind == BinaryConsensus.DECIDE:
+                return False
+        return True
+
+    def rewrite_broadcast(
+        self,
+        replica: Any,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Sequence[ReplicaId],
+    ) -> bool:
+        slot = _slot_of(protocol, _BINARY_CONTEXT)
+        if slot is None or slot not in self.attacked_slots:
+            return False
+        if kind == BinaryConsensus.DECIDE:
+            # Suppress the coalition's own decide broadcasts on attacked slots:
+            # a valid certificate would pull both partitions to the same value.
+            return True
+        if kind not in (BinaryConsensus.BVAL, BinaryConsensus.AUX):
+            return False
+        round_number = int(body.get("round", 0))
+        recipient_set = set(recipients)
+        for partition_index, partition in enumerate(self.plan.partition.partitions):
+            value = self.value_for(slot, partition_index)
+            targets = [r for r in partition if r in recipient_set]
+            if not targets:
+                continue
+            if kind == BinaryConsensus.BVAL:
+                forged_body: Dict[str, Any] = {"round": round_number, "value": value}
+            else:
+                vote = make_vote(
+                    replica, protocol, round_number, VoteKind.AUX, value_digest(value)
+                )
+                forged_body = {
+                    "round": round_number,
+                    "value": value,
+                    "vote": vote.to_payload(),
+                }
+            replica.broadcast(protocol, kind, forged_body, recipients=targets)
+        # Bridging replicas (the rest of the coalition and benign replicas)
+        # receive the partition-0 flavour so the coalition stays coordinated.
+        bridge_targets = [
+            r
+            for r in recipient_set
+            if self.plan.partition.partition_of(r) is None
+        ]
+        if bridge_targets:
+            value = self.value_for(slot, 0)
+            if kind == BinaryConsensus.BVAL:
+                forged_body = {"round": round_number, "value": value}
+            else:
+                vote = make_vote(
+                    replica, protocol, round_number, VoteKind.AUX, value_digest(value)
+                )
+                forged_body = {
+                    "round": round_number,
+                    "value": value,
+                    "vote": vote.to_payload(),
+                }
+            replica.broadcast(protocol, kind, forged_body, recipients=bridge_targets)
+        return True
+
+
+class ReliableBroadcastAttack(AttackStrategy):
+    """Per-partition equivocation on the reliable broadcast of attacked slots.
+
+    ``variants`` maps an attacked slot to the list of proposal payloads to
+    disseminate, one per partition (index ``p`` goes to partition ``p``).  The
+    whole coalition shares the same strategy object so deceitful echoers
+    amplify the variant that matches each partition.
+    """
+
+    name = "reliable-broadcast"
+
+    def __init__(self, plan: CoalitionPlan, variants: Dict[ReplicaId, List[Any]]):
+        if not variants:
+            raise ConfigurationError("reliable broadcast attack needs proposal variants")
+        self.plan = plan
+        self.variants = variants
+
+    def variant_for(self, slot: ReplicaId, partition_index: int) -> Any:
+        """The proposal variant pushed for ``slot`` towards ``partition_index``."""
+        options = self.variants[slot]
+        return options[partition_index % len(options)]
+
+    def rewrite_broadcast(
+        self,
+        replica: Any,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Sequence[ReplicaId],
+    ) -> bool:
+        slot = _slot_of(protocol, _RBC_CONTEXT)
+        if slot is None or slot not in self.variants:
+            return False
+        if kind not in (
+            ReliableBroadcast.INIT,
+            ReliableBroadcast.ECHO,
+            ReliableBroadcast.READY,
+        ):
+            return False
+        if kind == ReliableBroadcast.INIT and slot != replica.replica_id:
+            # Only the proposer equivocates on INIT; other coalition members
+            # never legitimately send INIT in the first place.
+            return True
+        vote_kind = {
+            ReliableBroadcast.INIT: VoteKind.RBC_INIT,
+            ReliableBroadcast.ECHO: VoteKind.RBC_ECHO,
+            ReliableBroadcast.READY: VoteKind.RBC_READY,
+        }[kind]
+        recipient_set = set(recipients)
+        for partition_index, partition in enumerate(self.plan.partition.partitions):
+            targets = [r for r in partition if r in recipient_set]
+            if not targets:
+                continue
+            value = self.variant_for(slot, partition_index)
+            digest = hash_payload(value)
+            vote = make_vote(replica, protocol, 0, vote_kind, digest)
+            forged_body = {"value": value, "digest": digest, "vote": vote.to_payload()}
+            replica.broadcast(protocol, kind, forged_body, recipients=targets)
+        bridge_targets = [
+            r for r in recipient_set if self.plan.partition.partition_of(r) is None
+        ]
+        if bridge_targets:
+            value = self.variant_for(slot, 0)
+            digest = hash_payload(value)
+            vote = make_vote(replica, protocol, 0, vote_kind, digest)
+            forged_body = {"value": value, "digest": digest, "vote": vote.to_payload()}
+            replica.broadcast(protocol, kind, forged_body, recipients=bridge_targets)
+        return True
+
+
+def attack_from_name(
+    name: str,
+    plan: CoalitionPlan,
+    variants: Optional[Dict[ReplicaId, List[Any]]] = None,
+) -> AttackStrategy:
+    """Build an attack strategy by the name the paper uses.
+
+    ``"binary"`` / ``"binary-consensus"`` build the binary consensus attack;
+    ``"rbbcast"`` / ``"reliable-broadcast"`` build the reliable broadcast
+    attack (``variants`` is then required).
+    """
+    key = name.strip().lower()
+    if key in ("binary", "binary-consensus", "binary_consensus"):
+        return BinaryConsensusAttack(plan)
+    if key in ("rbbcast", "reliable-broadcast", "reliable_broadcast", "rbc"):
+        if variants is None:
+            raise ConfigurationError(
+                "the reliable broadcast attack requires proposal variants"
+            )
+        return ReliableBroadcastAttack(plan, variants)
+    raise ConfigurationError(f"unknown attack {name!r}")

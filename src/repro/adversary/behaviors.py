@@ -1,0 +1,59 @@
+"""Attack strategy interface.
+
+A strategy is installed on a deceitful replica (``replica.attack_strategy``)
+and intercepts outgoing broadcasts at the :meth:`BaseReplica.emit` seam.  The
+strategy may rewrite the message per partition (equivocation) or let it pass
+through untouched.  Keeping the hook at the emission layer means the honest
+protocol components run unmodified on deceitful replicas — exactly like a
+hacked binary that only tampers with what it sends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.types import ReplicaId
+
+
+class AttackStrategy:
+    """Base class of deceitful behaviours."""
+
+    def filter_incoming(self, replica: Any, message: Any) -> bool:
+        """Return False to make the deceitful replica ignore an incoming message.
+
+        Used to keep the coalition actively equivocating: e.g. the binary
+        consensus attack drops incoming DECIDE certificates on attacked slots
+        so the coalition keeps voting in later rounds instead of adopting one
+        partition's decision.
+        """
+        return True
+
+    def rewrite_broadcast(
+        self,
+        replica: Any,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Sequence[ReplicaId],
+    ) -> bool:
+        """Intercept an outgoing broadcast.
+
+        Return True when the strategy took over delivery (it already sent
+        whatever it wanted to send); return False to let the replica broadcast
+        the original message normally.
+        """
+        raise NotImplementedError
+
+
+class PassiveStrategy(AttackStrategy):
+    """A strategy that never interferes (useful as a default and in tests)."""
+
+    def rewrite_broadcast(
+        self,
+        replica: Any,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Sequence[ReplicaId],
+    ) -> bool:
+        return False

@@ -1,0 +1,69 @@
+"""Coalition planning: who is deceitful, how honest replicas are partitioned.
+
+A :class:`CoalitionPlan` derives, from a :class:`~repro.common.config.FaultConfig`,
+the concrete cast of an attack experiment: the deceitful coalition, the benign
+replicas, the honest replicas, the number of branches the coalition can force
+(Appendix B bound) and the resulting partition of honest replicas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.common.config import FaultConfig
+from repro.common.types import FaultKind, ReplicaId, ReplicaSet, max_branches
+from repro.network.partition import PartitionSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class CoalitionPlan:
+    """The cast and partition layout of one coalition-attack experiment."""
+
+    fault_config: FaultConfig
+    deceitful: ReplicaSet
+    benign: ReplicaSet
+    honest: ReplicaSet
+    partition: PartitionSpec
+
+    @property
+    def num_branches(self) -> int:
+        """Number of honest partitions (= branches the attack aims to create)."""
+        return self.partition.num_partitions
+
+    def fault_of(self, replica: ReplicaId) -> FaultKind:
+        """Fault kind of ``replica`` under this plan."""
+        if replica in self.deceitful:
+            return FaultKind.DECEITFUL
+        if replica in self.benign:
+            return FaultKind.BENIGN
+        return FaultKind.HONEST
+
+    @staticmethod
+    def from_fault_config(
+        config: FaultConfig, branches: Optional[int] = None
+    ) -> "CoalitionPlan":
+        """Build the canonical plan for ``config``.
+
+        Replica ids ``0..d-1`` are deceitful and ``d..d+q-1`` benign (matching
+        :meth:`FaultConfig.fault_of`).  Honest replicas are split into
+        ``branches`` partitions; by default the attack creates the maximum
+        number of branches the Appendix B bound allows (capped at the number
+        of honest replicas).
+        """
+        deceitful = frozenset(range(config.deceitful))
+        benign = frozenset(range(config.deceitful, config.deceitful + config.benign))
+        honest = frozenset(range(config.deceitful + config.benign, config.n))
+        if branches is None:
+            branches = max_branches(config.n, config.deceitful, config.benign)
+        branches = max(1, min(branches, len(honest))) if honest else 1
+        partition = PartitionSpec.split_evenly(
+            honest, branches, bridging=sorted(deceitful | benign)
+        )
+        return CoalitionPlan(
+            fault_config=config,
+            deceitful=deceitful,
+            benign=benign,
+            honest=honest,
+            partition=partition,
+        )

@@ -1,0 +1,25 @@
+"""Baseline protocols the paper compares against (§5.1).
+
+* :mod:`repro.baselines.hotstuff` — the leader-based SMR at the heart of
+  Facebook Libra: linear communication, one proposal per consensus instance.
+* :mod:`repro.baselines.redbelly` — the Red Belly Blockchain: SBC without
+  accountability, the fastest of the compared systems but unable to tolerate
+  ``f >= n/3``.
+* :mod:`repro.baselines.polygraph_chain` — a blockchain on Polygraph's
+  accountable consensus: it detects deceitful replicas after a disagreement
+  but, unlike ZLB, never excludes them nor merges the branches, so it cannot
+  recover.
+"""
+
+from repro.baselines.hotstuff import HotStuffReplica, HotStuffCluster
+from repro.baselines.redbelly import RedBellyReplica, RedBellyCluster
+from repro.baselines.polygraph_chain import PolygraphReplica, PolygraphCluster
+
+__all__ = [
+    "HotStuffReplica",
+    "HotStuffCluster",
+    "RedBellyReplica",
+    "RedBellyCluster",
+    "PolygraphReplica",
+    "PolygraphCluster",
+]

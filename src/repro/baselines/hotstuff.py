@@ -1,0 +1,268 @@
+"""HotStuff: leader-based BFT SMR with linear communication (baseline).
+
+This is the chained ("pipelined") HotStuff of Yin et al. [63], reduced to what
+the comparison of §5.1 needs:
+
+* a rotating leader proposes one block per view, extending the block carrying
+  the highest known quorum certificate (QC);
+* replicas send their (signed) vote for the proposal to the *next* leader;
+* the next leader assembles a QC from ``n − f`` votes and embeds it in its own
+  proposal — the linear communication pattern that gives HotStuff its name;
+* a block commits once it heads a *three-chain*: three blocks with consecutive
+  views, each certified by the next (the classic HotStuff commit rule).
+
+One proposal is decided per view regardless of how many transactions clients
+submitted — the structural reason HotStuff's throughput does not grow with the
+committee size in Figure 3.
+
+View synchronisation relies on the leader's proposal reaching every replica;
+there is no view-change sub-protocol because the baseline is only exercised
+with honest leaders (the paper benchmarks HotStuff at ``f = 0``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.types import FaultKind, ReplicaId, quorum_size
+from repro.crypto.hashing import hash_payload
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SignedPayload, Signer
+from repro.network.delays import DelayModel, ConstantDelay
+from repro.network.message import Message
+from repro.network.simulator import NetworkSimulator, Process
+
+
+@dataclasses.dataclass
+class HotStuffBlock:
+    """A block proposed in one HotStuff view."""
+
+    view: int
+    parent_hash: str
+    payload: Any
+    justify_view: int
+
+    @property
+    def block_hash(self) -> str:
+        return hash_payload(
+            {
+                "view": self.view,
+                "parent": self.parent_hash,
+                "payload_digest": hash_payload(self.payload),
+                "justify": self.justify_view,
+            }
+        )
+
+
+GENESIS_HASH = "0" * 64
+
+
+class HotStuffReplica(Process):
+    """One HotStuff replica (leader duties rotate by view number)."""
+
+    PROPOSAL = "PROPOSAL"
+    VOTE = "VOTE"
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        committee: Sequence[ReplicaId],
+        signer: Signer,
+        registry: KeyRegistry,
+        batch_size: int = 100,
+        fault: FaultKind = FaultKind.HONEST,
+    ):
+        super().__init__(replica_id)
+        self.committee = sorted(committee)
+        self.signer = signer
+        self.registry = registry
+        self.batch_size = batch_size
+        self.fault = fault
+        self.view = 0
+        self.max_views = 0
+        self.pending_payloads: List[Any] = []
+        # view -> block proposed in that view (as seen locally).
+        self.blocks: Dict[int, HotStuffBlock] = {}
+        # view -> {voter: signed vote} collected by the next leader.
+        self._votes: Dict[int, Dict[ReplicaId, SignedPayload]] = {}
+        self.high_qc_view = -1
+        self.high_qc_block = GENESIS_HASH
+        self.committed: List[HotStuffBlock] = []
+        self.committed_views: List[int] = []
+
+    # -- helpers -------------------------------------------------------------------
+
+    def leader_of(self, view: int) -> ReplicaId:
+        """Round-robin leader election."""
+        return self.committee[view % len(self.committee)]
+
+    def quorum(self) -> int:
+        return quorum_size(len(self.committee))
+
+    def submit_payload(self, payload: Any) -> None:
+        """Queue a client batch to be proposed when this replica leads."""
+        self.pending_payloads.append(payload)
+
+    def submit_views(self, count: int) -> None:
+        """Allow the protocol to run ``count`` more views."""
+        self.max_views += count
+        if self._simulator is not None:
+            self._maybe_propose()
+
+    def on_start(self) -> None:
+        self._maybe_propose()
+
+    # -- leader side -----------------------------------------------------------------
+
+    def _maybe_propose(self) -> None:
+        if self.fault is FaultKind.BENIGN:
+            return
+        if self.view >= self.max_views:
+            return
+        if self.leader_of(self.view) != self.replica_id:
+            return
+        if self.view in self.blocks:
+            return
+        payload = (
+            self.pending_payloads.pop(0)
+            if self.pending_payloads
+            else {"view": self.view, "empty": True}
+        )
+        block = HotStuffBlock(
+            view=self.view,
+            parent_hash=self.high_qc_block,
+            payload=payload,
+            justify_view=self.high_qc_view,
+        )
+        self.blocks[self.view] = block
+        body = {
+            "view": block.view,
+            "parent_hash": block.parent_hash,
+            "payload": block.payload,
+            "justify_view": block.justify_view,
+        }
+        self.broadcast("hotstuff", self.PROPOSAL, body, recipients=self.committee)
+
+    # -- replica side --------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if self.fault is FaultKind.BENIGN:
+            return
+        if message.kind == self.PROPOSAL:
+            self._handle_proposal(message.sender, message.body)
+        elif message.kind == self.VOTE:
+            self._handle_vote(message.sender, message.body)
+
+    def _handle_proposal(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
+        view = int(body.get("view", -1))
+        if view < 0 or self.leader_of(view) != sender:
+            return
+        block = HotStuffBlock(
+            view=view,
+            parent_hash=body.get("parent_hash", GENESIS_HASH),
+            payload=body.get("payload"),
+            justify_view=int(body.get("justify_view", -1)),
+        )
+        self.blocks[view] = block
+        if view > self.view:
+            self.view = view
+        # Vote: send a signed vote to the leader of the next view.
+        vote_payload = {"view": view, "block": block.block_hash}
+        signed = self.signer.sign(vote_payload)
+        next_leader = self.leader_of(view + 1)
+        self.send_to(
+            next_leader,
+            "hotstuff",
+            self.VOTE,
+            {"view": view, "block": block.block_hash, "vote": signed.to_payload()},
+        )
+        self._check_commit(view)
+
+    def _handle_vote(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
+        view = int(body.get("view", -1))
+        payload = body.get("vote")
+        if view < 0 or payload is None:
+            return
+        signed = SignedPayload(
+            signer=payload["signer"],
+            payload_hash=payload["payload_hash"],
+            signature=payload["signature"],
+            scheme=payload["scheme"],
+        )
+        block_hash = body.get("block")
+        if not self.registry.verify({"view": view, "block": block_hash}, signed):
+            return
+        votes = self._votes.setdefault(view, {})
+        votes[sender] = signed
+        if len(votes) >= self.quorum() and view >= self.high_qc_view:
+            # A quorum certificate for `view` forms; the next view can start.
+            self.high_qc_view = view
+            self.high_qc_block = block_hash or GENESIS_HASH
+            self.view = max(self.view, view + 1)
+            self._maybe_propose()
+
+    # -- commit rule -------------------------------------------------------------------------
+
+    def _check_commit(self, view: int) -> None:
+        """Commit the tail of a three-chain with consecutive views."""
+        block = self.blocks.get(view)
+        if block is None:
+            return
+        parent_view = block.justify_view
+        grandparent_block = self.blocks.get(parent_view)
+        if grandparent_block is None or parent_view != view - 1:
+            return
+        great_view = grandparent_block.justify_view
+        if great_view != parent_view - 1:
+            return
+        commit_block = self.blocks.get(great_view)
+        if commit_block is None or great_view in self.committed_views:
+            return
+        self.committed_views.append(great_view)
+        self.committed.append(commit_block)
+
+
+class HotStuffCluster:
+    """A HotStuff deployment on the simulator, mirroring ZLBSystem's shape."""
+
+    def __init__(
+        self,
+        n: int,
+        delay: Optional[DelayModel] = None,
+        seed: int = 0,
+        batch_size: int = 100,
+    ):
+        self.keys = KeyRegistry.provision(range(n))
+        self.simulator = NetworkSimulator(
+            delay_model=delay or ConstantDelay(0.02),
+            config=SimulationConfig(seed=seed),
+        )
+        self.replicas: List[HotStuffReplica] = []
+        committee = list(range(n))
+        for replica_id in committee:
+            replica = HotStuffReplica(
+                replica_id=replica_id,
+                committee=committee,
+                signer=self.keys.signer_for(replica_id),
+                registry=self.keys.registry,
+                batch_size=batch_size,
+            )
+            self.simulator.add_process(replica)
+            self.replicas.append(replica)
+
+    def submit_payloads(self, payloads: Sequence[Any]) -> None:
+        """Distribute client batches to the replicas that will lead views."""
+        for index, payload in enumerate(payloads):
+            leader = self.replicas[index % len(self.replicas)]
+            leader.submit_payload(payload)
+
+    def run_views(self, count: int, until: Optional[float] = None) -> None:
+        for replica in self.replicas:
+            replica.submit_views(count)
+        self.simulator.run(until=until)
+
+    def committed_views(self) -> List[List[int]]:
+        """Committed view numbers per replica (prefix-consistent across honest)."""
+        return [list(replica.committed_views) for replica in self.replicas]

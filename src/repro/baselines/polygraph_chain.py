@@ -1,0 +1,124 @@
+"""Polygraph blockchain baseline: accountable consensus without recovery.
+
+Polygraph [15] provides accountable consensus: after a disagreement honest
+replicas eventually hold proofs of fraud incriminating at least ``n/3``
+replicas.  Unlike ZLB it stops there — there is no membership change to
+exclude the culprits, no block merge to reconcile the branches and therefore
+no recovery: once safety is violated the fork persists (§6: "this blockchain
+does not tolerate more than n/3 failures as it cannot recover after
+detection").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.config import ProtocolConfig, SimulationConfig
+from repro.common.types import FaultKind, ReplicaId
+from repro.crypto.keys import KeyRegistry
+from repro.ledger.workload import TransferWorkload
+from repro.network.delays import ConstantDelay, DelayModel, PartitionedDelay
+from repro.network.simulator import NetworkSimulator
+from repro.adversary.attacks import BinaryConsensusAttack
+from repro.adversary.coalition import CoalitionPlan
+from repro.common.config import FaultConfig
+from repro.smr.asmr import ASMRReplica
+from repro.zlb.blockchain_manager import BlockchainManager
+
+
+class PolygraphReplica(ASMRReplica):
+    """Accountable blockchain replica that detects but never excludes."""
+
+    def __init__(self, *args: Any, blockchain: BlockchainManager, **kwargs: Any):
+        self.blockchain = blockchain
+        kwargs.setdefault(
+            "config", ProtocolConfig(batch_size=blockchain.batch_size)
+        )
+        kwargs.setdefault("proposal_factory", blockchain.next_proposal)
+        kwargs.setdefault("proposal_validator", blockchain.validate_proposal)
+        kwargs.setdefault("on_commit", blockchain.commit_decision)
+        super().__init__(*args, **kwargs)
+
+    # Polygraph detects deceitful replicas (the PoF machinery stays active and
+    # `detected_at` gets set) but has no membership change to run.
+    def _maybe_start_membership_change(self) -> None:  # noqa: D401
+        return
+
+
+class PolygraphCluster:
+    """A Polygraph-blockchain deployment, optionally under the binary attack."""
+
+    def __init__(
+        self,
+        fault_config: FaultConfig,
+        delay: Optional[DelayModel] = None,
+        cross_partition_delay: Optional[DelayModel] = None,
+        seed: int = 0,
+        batch_size: int = 50,
+        workload_transactions: int = 100,
+    ):
+        n = fault_config.n
+        self.fault_config = fault_config
+        self.plan = CoalitionPlan.from_fault_config(fault_config)
+        base_delay = delay or ConstantDelay(0.02)
+        if cross_partition_delay is not None and fault_config.deceitful:
+            delay_model: DelayModel = PartitionedDelay(
+                base=base_delay,
+                cross_partition=cross_partition_delay,
+                partition=self.plan.partition,
+            )
+        else:
+            delay_model = base_delay
+        self.keys = KeyRegistry.provision(range(n))
+        self.simulator = NetworkSimulator(
+            delay_model=delay_model, config=SimulationConfig(seed=seed)
+        )
+        self.workload = TransferWorkload(num_accounts=16, seed=seed)
+        strategy = (
+            BinaryConsensusAttack(self.plan) if fault_config.deceitful else None
+        )
+        self.replicas: List[PolygraphReplica] = []
+        committee = list(range(n))
+        for replica_id in committee:
+            blockchain = BlockchainManager(
+                replica_id=replica_id,
+                genesis_allocations=self.workload.genesis_allocations,
+                batch_size=batch_size,
+            )
+            replica = PolygraphReplica(
+                replica_id,
+                committee,
+                self.keys.signer_for(replica_id),
+                self.keys.registry,
+                blockchain=blockchain,
+                fault=self.plan.fault_of(replica_id),
+            )
+            if self.plan.fault_of(replica_id) is FaultKind.DECEITFUL and strategy:
+                replica.attack_strategy = strategy
+            self.simulator.add_process(replica)
+            self.replicas.append(replica)
+        if workload_transactions:
+            for index, transaction in enumerate(self.workload.batch(workload_transactions)):
+                self.replicas[index % n].blockchain.submit_transaction(transaction)
+
+    def run_instances(self, count: int, until: Optional[float] = None) -> None:
+        for replica in self.replicas:
+            if replica.fault is not FaultKind.BENIGN:
+                replica.submit_instances(count)
+        self.simulator.run(until=until)
+
+    def honest_replicas(self) -> List[PolygraphReplica]:
+        return [r for r in self.replicas if r.fault is FaultKind.HONEST]
+
+    def detection_times(self) -> List[float]:
+        """Detection times of honest replicas that identified >= n/3 culprits."""
+        return [
+            r.detected_at for r in self.honest_replicas() if r.detected_at is not None
+        ]
+
+    def chain_digests(self) -> List[str]:
+        """Digest of each honest replica's chain head (diverges after a fork)."""
+        digests = []
+        for replica in self.honest_replicas():
+            digests.append(replica.blockchain.record.head_hash)
+        return digests

@@ -1,0 +1,101 @@
+"""Red Belly Blockchain baseline: SBC-based blockchain without accountability.
+
+Red Belly [20] solves the same Set Byzantine Consensus as ZLB and therefore
+also decides up to ``n`` proposals per instance, but it does not make replicas
+accountable: no certificates are cross-checked, no proofs of fraud are
+gathered, there is no confirmation phase and no membership change.  It is the
+fastest of the compared systems (Fig. 3) and is safe only while ``f < n/3``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.config import ProtocolConfig, SimulationConfig
+from repro.common.types import FaultKind, ReplicaId
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signer
+from repro.ledger.workload import TransferWorkload
+from repro.network.delays import ConstantDelay, DelayModel
+from repro.network.simulator import NetworkSimulator
+from repro.smr.asmr import ASMRReplica
+from repro.zlb.blockchain_manager import BlockchainManager
+
+
+class RedBellyReplica(ASMRReplica):
+    """An SBC blockchain replica with the accountability machinery disabled."""
+
+    def __init__(self, *args: Any, blockchain: BlockchainManager, **kwargs: Any):
+        self.blockchain = blockchain
+        kwargs.setdefault(
+            "config",
+            ProtocolConfig(
+                batch_size=blockchain.batch_size, confirmation_enabled=False
+            ),
+        )
+        kwargs.setdefault("proposal_factory", blockchain.next_proposal)
+        kwargs.setdefault("proposal_validator", blockchain.validate_proposal)
+        kwargs.setdefault("on_commit", blockchain.commit_decision)
+        super().__init__(*args, **kwargs)
+
+    # Red Belly never recovers from a disagreement: it assumes f < n/3 and has
+    # no exclusion/inclusion machinery to invoke.
+    def _maybe_start_membership_change(self) -> None:  # noqa: D401
+        return
+
+
+class RedBellyCluster:
+    """A Red Belly deployment on the simulator."""
+
+    def __init__(
+        self,
+        n: int,
+        delay: Optional[DelayModel] = None,
+        seed: int = 0,
+        batch_size: int = 50,
+        workload_accounts: int = 16,
+        workload_transactions: int = 100,
+    ):
+        self.keys = KeyRegistry.provision(range(n))
+        self.simulator = NetworkSimulator(
+            delay_model=delay or ConstantDelay(0.02),
+            config=SimulationConfig(seed=seed),
+        )
+        self.workload = TransferWorkload(num_accounts=workload_accounts, seed=seed)
+        self.replicas: List[RedBellyReplica] = []
+        committee = list(range(n))
+        for replica_id in committee:
+            blockchain = BlockchainManager(
+                replica_id=replica_id,
+                genesis_allocations=self.workload.genesis_allocations,
+                batch_size=batch_size,
+            )
+            replica = RedBellyReplica(
+                replica_id,
+                committee,
+                self.keys.signer_for(replica_id),
+                self.keys.registry,
+                blockchain=blockchain,
+            )
+            self.simulator.add_process(replica)
+            self.replicas.append(replica)
+        if workload_transactions:
+            self.submit_workload(workload_transactions)
+
+    def submit_workload(self, count: int) -> None:
+        """Spread client transfers across the replicas' mempools."""
+        for index, transaction in enumerate(self.workload.batch(count)):
+            self.replicas[index % len(self.replicas)].blockchain.submit_transaction(
+                transaction
+            )
+
+    def run_instances(self, count: int, until: Optional[float] = None) -> None:
+        for replica in self.replicas:
+            replica.submit_instances(count)
+        self.simulator.run(until=until)
+
+    def chain_heights(self) -> List[int]:
+        return [replica.blockchain.chain_height() for replica in self.replicas]
+
+    def committed_transactions(self) -> List[int]:
+        return [replica.blockchain.transactions_committed for replica in self.replicas]

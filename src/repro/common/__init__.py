@@ -1,0 +1,51 @@
+"""Shared types, errors and configuration used across the ZLB reproduction.
+
+The modules in this package are deliberately free of any protocol logic: they
+define the vocabulary (replica identifiers, round numbers, fault kinds), the
+exception hierarchy and the configuration dataclasses that the rest of the
+library builds on.
+"""
+
+from repro.common.types import (
+    FaultKind,
+    Phase,
+    ReplicaId,
+    ReplicaSet,
+    deceitful_ratio,
+    max_branches,
+    quorum_size,
+    recovery_threshold,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    InvalidCertificateError,
+    InvalidSignatureError,
+    InvalidTransactionError,
+    LedgerError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.config import FaultConfig, ProtocolConfig, SimulationConfig
+
+__all__ = [
+    "FaultKind",
+    "Phase",
+    "ReplicaId",
+    "ReplicaSet",
+    "deceitful_ratio",
+    "max_branches",
+    "quorum_size",
+    "recovery_threshold",
+    "ConfigurationError",
+    "InvalidCertificateError",
+    "InvalidSignatureError",
+    "InvalidTransactionError",
+    "LedgerError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "FaultConfig",
+    "ProtocolConfig",
+    "SimulationConfig",
+]

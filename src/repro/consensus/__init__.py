@@ -1,0 +1,33 @@
+"""Consensus substrate: accountable reliable broadcast, binary consensus and SBC.
+
+The layering follows §2.3 of the paper:
+
+* :mod:`repro.consensus.certificates` — signed votes and quorum certificates.
+* :mod:`repro.consensus.proofs` — proof-of-fraud extraction by cross-checking
+  conflicting signed votes (the Polygraph accountability mechanism).
+* :mod:`repro.rbc.bracha` — Bracha reliable broadcast with signed echoes.
+* :mod:`repro.consensus.binary` — accountable binary Byzantine consensus
+  (BV-broadcast + AUX rounds, DBFT style) producing decision certificates.
+* :mod:`repro.consensus.sbc` — the reduction of Set Byzantine Consensus to
+  ``n`` reliable broadcasts plus ``n`` binary consensus instances; with
+  accountability enabled this is the Polygraph consensus ZLB builds on.
+"""
+
+from repro.consensus.certificates import Certificate, SignedVote, VoteKind
+from repro.consensus.proofs import ProofOfFraud, extract_pofs_from_votes, merge_pofs
+from repro.consensus.host import ProtocolHost
+from repro.consensus.binary import BinaryConsensus
+from repro.consensus.sbc import SetByzantineConsensus, SBCDecision
+
+__all__ = [
+    "Certificate",
+    "SignedVote",
+    "VoteKind",
+    "ProofOfFraud",
+    "extract_pofs_from_votes",
+    "merge_pofs",
+    "ProtocolHost",
+    "BinaryConsensus",
+    "SetByzantineConsensus",
+    "SBCDecision",
+]

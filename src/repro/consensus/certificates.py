@@ -1,0 +1,251 @@
+"""Signed votes and quorum certificates.
+
+Polygraph-style accountability works because every step that can influence a
+decision is a *signed vote*: a replica signs the tuple (context, round, kind,
+value).  A :class:`Certificate` bundles a quorum (``ceil(2|C|/3)``) of such
+votes for the same value; conflicting certificates are the raw material from
+which proofs of fraud are extracted (:mod:`repro.consensus.proofs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import InvalidCertificateError
+from repro.common.types import ReplicaId, quorum_size
+from repro.crypto.signatures import SignedPayload
+
+
+class VoteKind(enum.Enum):
+    """The signed message kinds that participate in accountability.
+
+    ``BVAL`` votes are deliberately excluded from equivocation checks: the
+    BV-broadcast of the binary consensus legitimately lets an honest replica
+    echo both binary values in the same round.
+    """
+
+    RBC_INIT = "rbc-init"
+    RBC_ECHO = "rbc-echo"
+    RBC_READY = "rbc-ready"
+    AUX = "aux"
+    DECIDE = "decide"
+    PROPOSAL = "proposal"
+
+    @staticmethod
+    def equivocation_checked() -> Tuple["VoteKind", ...]:
+        """Kinds for which two different signed values in the same context
+        constitute a proof of fraud."""
+        return (
+            VoteKind.RBC_INIT,
+            VoteKind.RBC_ECHO,
+            VoteKind.RBC_READY,
+            VoteKind.AUX,
+            VoteKind.DECIDE,
+            VoteKind.PROPOSAL,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SignedVote:
+    """A vote: (context, round, kind, value) signed by ``signer``.
+
+    ``context`` identifies the protocol instance, e.g. ``"bin:5:2"`` for the
+    binary consensus of slot 2 in ASMR instance 5.  ``value_digest`` is the
+    canonical hash of the voted value so that votes stay small regardless of
+    the payload (a proposal of 10,000 transactions is voted on by hash).
+    """
+
+    context: str
+    round: int
+    kind: VoteKind
+    value_digest: str
+    signer: ReplicaId
+    signature: SignedPayload
+
+    def vote_payload(self) -> Dict[str, Any]:
+        """The payload that was signed."""
+        return vote_payload(self.context, self.round, self.kind, self.value_digest)
+
+    def conflicts_with(self, other: "SignedVote") -> bool:
+        """True when the two votes prove equivocation by the same signer."""
+        return (
+            self.signer == other.signer
+            and self.context == other.context
+            and self.round == other.round
+            and self.kind == other.kind
+            and self.value_digest != other.value_digest
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context": self.context,
+            "round": self.round,
+            "kind": self.kind.value,
+            "value_digest": self.value_digest,
+            "signer": self.signer,
+            "signature": self.signature.to_payload(),
+        }
+
+
+def vote_payload(context: str, round_number: int, kind: VoteKind, value_digest: str) -> Dict[str, Any]:
+    """The canonical payload a replica signs when voting."""
+    return {
+        "context": context,
+        "round": round_number,
+        "kind": kind.value,
+        "value_digest": value_digest,
+    }
+
+
+def make_vote(
+    host: Any, context: str, round_number: int, kind: VoteKind, value_digest: str
+) -> SignedVote:
+    """Create a vote signed by ``host`` (any object exposing ``sign`` and ``replica_id``)."""
+    payload = vote_payload(context, round_number, kind, value_digest)
+    signature = host.sign(payload)
+    return SignedVote(
+        context=context,
+        round=round_number,
+        kind=kind,
+        value_digest=value_digest,
+        signer=host.replica_id,
+        signature=signature,
+    )
+
+
+def verify_vote(vote: SignedVote, verifier: Any) -> bool:
+    """Verify a vote's signature (``verifier`` exposes ``verify(payload, signed)``).
+
+    Also rejects votes whose embedded signer does not match the signature's
+    signer — a Byzantine replica cannot attribute its vote to someone else.
+    """
+    if vote.signature.signer != vote.signer:
+        return False
+    return verifier.verify(vote.vote_payload(), vote.signature)
+
+
+@dataclasses.dataclass
+class Certificate:
+    """A quorum of signed votes for the same (context, round, kind, value)."""
+
+    context: str
+    round: int
+    kind: VoteKind
+    value_digest: str
+    votes: Tuple[SignedVote, ...]
+
+    def signers(self) -> Set[ReplicaId]:
+        """The distinct replicas whose votes are included."""
+        return {vote.signer for vote in self.votes}
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "context": self.context,
+            "round": self.round,
+            "kind": self.kind.value,
+            "value_digest": self.value_digest,
+            "votes": [vote.to_payload() for vote in self.votes],
+        }
+
+    def verify(self, verifier: Any, committee: Sequence[ReplicaId]) -> None:
+        """Check quorum size and every signature against ``committee``.
+
+        Raises :class:`InvalidCertificateError` on any failure.  The committee
+        argument matters: the exclusion consensus re-checks certificates
+        against a shrinking committee (Alg. 1 lines 31–36).
+        """
+        committee_set = set(committee)
+        needed = quorum_size(len(committee_set))
+        valid_signers: Set[ReplicaId] = set()
+        for vote in self.votes:
+            if (
+                vote.context != self.context
+                or vote.round != self.round
+                or vote.kind != self.kind
+                or vote.value_digest != self.value_digest
+            ):
+                raise InvalidCertificateError(
+                    f"certificate for {self.context} mixes unrelated votes"
+                )
+            if vote.signer not in committee_set:
+                continue
+            if not verify_vote(vote, verifier):
+                raise InvalidCertificateError(
+                    f"certificate for {self.context} contains an invalid "
+                    f"signature from {vote.signer}"
+                )
+            valid_signers.add(vote.signer)
+        if len(valid_signers) < needed:
+            raise InvalidCertificateError(
+                f"certificate for {self.context} has {len(valid_signers)} valid "
+                f"signers, needs {needed}"
+            )
+
+    def is_valid(self, verifier: Any, committee: Sequence[ReplicaId]) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(verifier, committee)
+        except InvalidCertificateError:
+            return False
+        return True
+
+    def conflicts_with(self, other: "Certificate") -> bool:
+        """True when the two certificates support different values for the same step."""
+        return (
+            self.context == other.context
+            and self.round == other.round
+            and self.kind == other.kind
+            and self.value_digest != other.value_digest
+        )
+
+    @staticmethod
+    def from_votes(votes: Iterable[SignedVote]) -> "Certificate":
+        """Bundle votes (all for the same step and value) into a certificate."""
+        votes = tuple(votes)
+        if not votes:
+            raise InvalidCertificateError("cannot build a certificate from no votes")
+        first = votes[0]
+        # One vote per signer: keep the first occurrence deterministically.
+        unique: Dict[ReplicaId, SignedVote] = {}
+        for vote in votes:
+            unique.setdefault(vote.signer, vote)
+        return Certificate(
+            context=first.context,
+            round=first.round,
+            kind=first.kind,
+            value_digest=first.value_digest,
+            votes=tuple(unique[signer] for signer in sorted(unique)),
+        )
+
+
+def certificate_from_payload(payload: Dict[str, Any]) -> Certificate:
+    """Rebuild a certificate from its wire payload (inverse of ``to_payload``)."""
+    votes = tuple(vote_from_payload(entry) for entry in payload["votes"])
+    return Certificate(
+        context=payload["context"],
+        round=payload["round"],
+        kind=VoteKind(payload["kind"]),
+        value_digest=payload["value_digest"],
+        votes=votes,
+    )
+
+
+def vote_from_payload(payload: Dict[str, Any]) -> SignedVote:
+    """Rebuild a signed vote from its wire payload."""
+    signature = payload["signature"]
+    signed = SignedPayload(
+        signer=signature["signer"],
+        payload_hash=signature["payload_hash"],
+        signature=signature["signature"],
+        scheme=signature["scheme"],
+    )
+    return SignedVote(
+        context=payload["context"],
+        round=payload["round"],
+        kind=VoteKind(payload["kind"]),
+        value_digest=payload["value_digest"],
+        signer=payload["signer"],
+        signature=signed,
+    )

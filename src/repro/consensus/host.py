@@ -1,0 +1,145 @@
+"""The protocol host interface.
+
+A replica process hosts many protocol component instances at once (reliable
+broadcasts, binary consensus instances, the exclusion and inclusion consensus
+of a membership change, ...).  Components never talk to the network directly:
+they go through their :class:`ProtocolHost`, which provides identity, the
+current committee, signing, verification and message emission.  This is the
+seam where deceitful behaviour is injected — a deceitful replica's host
+rewrites selected outgoing messages per partition (see
+:mod:`repro.adversary.attacks`) while components stay oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.common.types import ReplicaId
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SignedPayload, Signer
+
+
+class ProtocolHost:
+    """Interface a replica exposes to its protocol components."""
+
+    # -- identity and committee ------------------------------------------------
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        """This replica's identifier."""
+        raise NotImplementedError
+
+    def committee(self) -> Sequence[ReplicaId]:
+        """Current committee (sorted replica ids) as known by this replica."""
+        raise NotImplementedError
+
+    def committee_size(self) -> int:
+        """Size of the current committee."""
+        return len(self.committee())
+
+    # -- time -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, callback) -> int:
+        """Schedule a callback after ``delay`` seconds; returns a timer id."""
+        raise NotImplementedError
+
+    # -- cryptography -------------------------------------------------------------
+
+    def sign(self, payload: Any) -> SignedPayload:
+        """Sign a payload with this replica's key."""
+        raise NotImplementedError
+
+    def verify(self, payload: Any, signed: SignedPayload) -> bool:
+        """Verify a signed payload against the PKI."""
+        raise NotImplementedError
+
+    # -- communication -------------------------------------------------------------
+
+    def emit(
+        self,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Optional[Iterable[ReplicaId]] = None,
+    ) -> None:
+        """Broadcast a protocol message (to the committee unless restricted)."""
+        raise NotImplementedError
+
+    def emit_to(self, recipient: ReplicaId, protocol: str, kind: str, body: Dict[str, Any]) -> None:
+        """Send a protocol message to a single replica."""
+        raise NotImplementedError
+
+    # -- notifications from components ------------------------------------------------
+
+    def component_decided(self, protocol: str, decision: Any) -> None:
+        """Called by a component when it reaches a decision."""
+        raise NotImplementedError
+
+
+class SimpleHost(ProtocolHost):
+    """A concrete host used by unit tests and by the replica implementations.
+
+    It binds a :class:`~repro.network.simulator.Process`-like transport (any
+    object with ``broadcast``/``send_to``/``set_timer``/``now``), a signer and
+    a key registry.  Decisions are collected into :attr:`decisions`.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        committee: Sequence[ReplicaId],
+        signer: Signer,
+        registry: KeyRegistry,
+        transport: Any,
+    ):
+        self._replica_id = replica_id
+        self._committee: List[ReplicaId] = sorted(committee)
+        self._signer = signer
+        self._registry = registry
+        self._transport = transport
+        self.decisions: Dict[str, Any] = {}
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        return self._replica_id
+
+    def committee(self) -> Sequence[ReplicaId]:
+        return list(self._committee)
+
+    def update_committee(self, committee: Iterable[ReplicaId]) -> None:
+        """Replace the committee view (used by membership changes)."""
+        self._committee = sorted(committee)
+
+    @property
+    def now(self) -> float:
+        return self._transport.now
+
+    def schedule(self, delay: float, callback) -> int:
+        return self._transport.set_timer(delay, callback)
+
+    def sign(self, payload: Any) -> SignedPayload:
+        return self._signer.sign(payload)
+
+    def verify(self, payload: Any, signed: SignedPayload) -> bool:
+        return self._registry.verify(payload, signed)
+
+    def emit(
+        self,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Optional[Iterable[ReplicaId]] = None,
+    ) -> None:
+        targets = list(recipients) if recipients is not None else list(self._committee)
+        self._transport.broadcast(protocol, kind, body, recipients=targets)
+
+    def emit_to(self, recipient: ReplicaId, protocol: str, kind: str, body: Dict[str, Any]) -> None:
+        self._transport.send_to(recipient, protocol, kind, body)
+
+    def component_decided(self, protocol: str, decision: Any) -> None:
+        self.decisions[protocol] = decision

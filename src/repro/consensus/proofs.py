@@ -1,0 +1,126 @@
+"""Proofs of fraud (PoFs).
+
+A proof of fraud is a pair of signed votes from the same replica, for the same
+protocol step (context, round, kind), carrying different values — undeniable
+evidence of equivocation.  Honest replicas never produce such pairs (the only
+step where voting for two values is legitimate, BVAL of the BV-broadcast, is
+excluded from the vote kinds tracked here), so PoFs only ever implicate
+deceitful replicas.
+
+During the confirmation phase and the membership change, replicas cross-check
+the certificates they received from different partitions; the votes inside
+conflicting certificates are fed to :func:`extract_pofs_from_votes`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.types import ReplicaId
+from repro.consensus.certificates import (
+    Certificate,
+    SignedVote,
+    verify_vote,
+    vote_from_payload,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProofOfFraud:
+    """Two conflicting signed votes from the same replica."""
+
+    culprit: ReplicaId
+    first: SignedVote
+    second: SignedVote
+
+    def is_well_formed(self) -> bool:
+        """Structural check: the two votes genuinely conflict and blame ``culprit``."""
+        return (
+            self.first.conflicts_with(self.second)
+            and self.first.signer == self.culprit
+        )
+
+    def verify(self, verifier: Any) -> bool:
+        """Full check: structure plus both signatures."""
+        return (
+            self.is_well_formed()
+            and verify_vote(self.first, verifier)
+            and verify_vote(self.second, verifier)
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "culprit": self.culprit,
+            "first": self.first.to_payload(),
+            "second": self.second.to_payload(),
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "ProofOfFraud":
+        return ProofOfFraud(
+            culprit=payload["culprit"],
+            first=vote_from_payload(payload["first"]),
+            second=vote_from_payload(payload["second"]),
+        )
+
+
+def extract_pofs_from_votes(votes: Iterable[SignedVote]) -> List[ProofOfFraud]:
+    """Cross-check votes and return one PoF per equivocating replica.
+
+    Votes are grouped by (signer, context, round, kind); any group containing
+    two distinct value digests yields a PoF.  At most one PoF per culprit is
+    returned (the paper only needs to identify the replica once).
+    """
+    grouped: Dict[Tuple[ReplicaId, str, int, str], Dict[str, SignedVote]] = {}
+    for vote in votes:
+        key = (vote.signer, vote.context, vote.round, vote.kind.value)
+        grouped.setdefault(key, {}).setdefault(vote.value_digest, vote)
+    pofs: Dict[ReplicaId, ProofOfFraud] = {}
+    for (signer, _, _, _), by_value in grouped.items():
+        if signer in pofs:
+            continue
+        if len(by_value) >= 2:
+            values = sorted(by_value)
+            pofs[signer] = ProofOfFraud(
+                culprit=signer, first=by_value[values[0]], second=by_value[values[1]]
+            )
+    return [pofs[culprit] for culprit in sorted(pofs)]
+
+
+def extract_pofs_from_certificates(
+    certificates: Iterable[Certificate],
+) -> List[ProofOfFraud]:
+    """Extract PoFs from the union of the votes of several certificates."""
+    votes: List[SignedVote] = []
+    for certificate in certificates:
+        votes.extend(certificate.votes)
+    return extract_pofs_from_votes(votes)
+
+
+def merge_pofs(
+    existing: Dict[ReplicaId, ProofOfFraud],
+    new_pofs: Iterable[ProofOfFraud],
+    verifier: Optional[Any] = None,
+) -> List[ProofOfFraud]:
+    """Merge freshly received PoFs into ``existing`` (keyed by culprit).
+
+    Returns the list of PoFs that were actually new (``new_pofs`` in Alg. 1,
+    line 15).  When a ``verifier`` is provided, invalid PoFs are ignored
+    (Alg. 1 line 14: ``verify(pofs)``).
+    """
+    added: List[ProofOfFraud] = []
+    for pof in new_pofs:
+        if verifier is not None and not pof.verify(verifier):
+            continue
+        if verifier is None and not pof.is_well_formed():
+            continue
+        if pof.culprit not in existing:
+            existing[pof.culprit] = pof
+            added.append(pof)
+    return added
+
+
+def culprits(pofs: Iterable[ProofOfFraud]) -> Set[ReplicaId]:
+    """The set of replicas incriminated by ``pofs``."""
+    return {pof.culprit for pof in pofs}

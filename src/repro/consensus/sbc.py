@@ -1,0 +1,266 @@
+"""Set Byzantine Consensus (SBC) via the reduction to binary consensus.
+
+Following §2.3 of the paper (and Red Belly / Polygraph), one SBC instance runs:
+
+* ``n`` reliable broadcasts, one per committee member's proposal;
+* ``n`` binary consensus instances, one per proposal slot, deciding whether
+  the corresponding proposal makes it into the decided set;
+* slots whose reliable broadcast delivered start their binary consensus with
+  input 1; once ``n − f`` proposals have been delivered locally, the remaining
+  slots start with input 0;
+* the decision is the union of the proposals at slots whose binary consensus
+  decided 1.
+
+With accountability enabled (always, in this implementation) every ECHO,
+READY, AUX and DECIDE is a signed vote; the :class:`SBCDecision` carries the
+per-slot decision certificates plus all collected votes (the *justification*)
+so that conflicting decisions can be cross-checked into proofs of fraud during
+the confirmation phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.types import ReplicaId, byzantine_tolerance
+from repro.consensus.binary import BinaryConsensus
+from repro.consensus.certificates import Certificate, SignedVote
+from repro.consensus.host import ProtocolHost
+from repro.crypto.hashing import hash_payload
+from repro.rbc.bracha import ReliableBroadcast
+
+#: Validates a delivered proposal; invalid proposals are treated as absent.
+ProposalValidator = Callable[[ReplicaId, Any], bool]
+
+#: Callback signature: (decision)
+SBCDecideCallback = Callable[["SBCDecision"], None]
+
+
+@dataclasses.dataclass
+class SBCDecision:
+    """The outcome of one SBC instance at one replica.
+
+    Attributes:
+        instance: the ASMR consensus index.
+        bitmask: slot -> 0/1 binary decision.
+        proposals: slot -> proposal payload, for slots decided 1.
+        binary_certificates: slot -> quorum certificate justifying the bit.
+        rbc_certificates: slot -> quorum of READY votes justifying the delivered
+            proposal content (only for slots decided 1).
+        justification_votes: every signed vote collected while deciding; used
+            by the confirmation phase to extract proofs of fraud when two
+            replicas end up with conflicting decisions.
+        decided_at: simulated time of the local decision.
+    """
+
+    instance: int
+    bitmask: Dict[ReplicaId, int]
+    proposals: Dict[ReplicaId, Any]
+    binary_certificates: Dict[ReplicaId, Certificate]
+    justification_votes: List[SignedVote]
+    rbc_certificates: Dict[ReplicaId, Certificate] = dataclasses.field(
+        default_factory=dict
+    )
+    decided_at: float = 0.0
+
+    @property
+    def digest(self) -> str:
+        """Canonical digest of the decided set (order-independent per slot)."""
+        included = sorted(
+            (slot, hash_payload(self.proposals[slot]))
+            for slot, bit in self.bitmask.items()
+            if bit == 1
+        )
+        return hash_payload(["sbc-decision", self.instance, included])
+
+    def included_slots(self) -> List[ReplicaId]:
+        """Slots whose proposals are part of the decision, in slot order."""
+        return sorted(slot for slot, bit in self.bitmask.items() if bit == 1)
+
+    def decided_payloads(self) -> List[Any]:
+        """The decided proposals in slot order."""
+        return [self.proposals[slot] for slot in self.included_slots()]
+
+    def conflicts_with(self, other: "SBCDecision") -> bool:
+        """True when the two decisions are for the same instance but differ."""
+        return self.instance == other.instance and self.digest != other.digest
+
+    def summary_payload(self) -> Dict[str, Any]:
+        """Compact content summary exchanged during confirmation."""
+        return {
+            "instance": self.instance,
+            "digest": self.digest,
+            "bitmask": dict(self.bitmask),
+            "proposal_digests": {
+                slot: hash_payload(value) for slot, value in self.proposals.items()
+            },
+        }
+
+
+class SetByzantineConsensus:
+    """One SBC instance; hosts its reliable broadcasts and binary consensuses."""
+
+    def __init__(
+        self,
+        host: ProtocolHost,
+        instance: int,
+        on_decide: SBCDecideCallback,
+        proposal_validator: Optional[ProposalValidator] = None,
+        protocol_prefix: str = "sbc",
+        zero_phase_grace: float = 0.05,
+    ):
+        self.host = host
+        self.instance = instance
+        self.on_decide = on_decide
+        self.proposal_validator = proposal_validator
+        #: Grace period between reaching n - f local deliveries and voting 0 on
+        #: the still-missing slots; gives slightly slower proposers a chance so
+        #: the common all-honest case includes every proposal (SBC throughput).
+        self.zero_phase_grace = zero_phase_grace
+        self.prefix = f"{protocol_prefix}:{instance}"
+        self.slots: Tuple[ReplicaId, ...] = tuple(sorted(host.committee()))
+        self.decided = False
+        self.decision: Optional[SBCDecision] = None
+        self._proposals: Dict[ReplicaId, Any] = {}
+        self._bits: Dict[ReplicaId, int] = {}
+        self._binary_certs: Dict[ReplicaId, Certificate] = {}
+        self._rbc_certs: Dict[ReplicaId, Certificate] = {}
+        self._rbc: Dict[ReplicaId, ReliableBroadcast] = {}
+        self._binary: Dict[ReplicaId, BinaryConsensus] = {}
+        self._zero_phase_started = False
+        for slot in self.slots:
+            self._rbc[slot] = ReliableBroadcast(
+                host=host,
+                context=self._rbc_context(slot),
+                proposer=slot,
+                on_deliver=self._on_rbc_deliver,
+            )
+            self._binary[slot] = BinaryConsensus(
+                host=host,
+                context=self._binary_context(slot),
+                on_decide=self._on_binary_decide,
+            )
+
+    # -- protocol naming -----------------------------------------------------------
+
+    def _rbc_context(self, slot: ReplicaId) -> str:
+        return f"{self.prefix}:rbc:{slot}"
+
+    def _binary_context(self, slot: ReplicaId) -> str:
+        return f"{self.prefix}:bin:{slot}"
+
+    def owns_protocol(self, protocol: str) -> bool:
+        """True when ``protocol`` belongs to this SBC instance."""
+        return protocol.startswith(self.prefix + ":")
+
+    # -- API -------------------------------------------------------------------------
+
+    def propose(self, payload: Any) -> None:
+        """Reliably broadcast this replica's proposal for the instance."""
+        slot = self.host.replica_id
+        if slot in self._rbc:
+            self._rbc[slot].broadcast(payload)
+
+    def handle(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        """Route a message to the owning sub-component."""
+        for slot in self.slots:
+            if protocol == self._rbc_context(slot):
+                self._rbc[slot].handle(sender, kind, body)
+                return
+            if protocol == self._binary_context(slot):
+                self._binary[slot].handle(sender, kind, body)
+                return
+
+    # -- sub-component callbacks --------------------------------------------------------
+
+    def _on_rbc_deliver(self, proposer: ReplicaId, value: Any, certificate: Certificate) -> None:
+        if self.proposal_validator is not None and not self.proposal_validator(
+            proposer, value
+        ):
+            return
+        if proposer in self._proposals:
+            return
+        self._proposals[proposer] = value
+        self._rbc_certs[proposer] = certificate
+        binary = self._binary[proposer]
+        if not binary.started:
+            binary.propose(1)
+        self._maybe_start_zero_phase()
+        self._maybe_complete()
+
+    def _maybe_start_zero_phase(self) -> None:
+        """Once n − f proposals are in, vote 0 on every slot still unseen."""
+        if self._zero_phase_started:
+            return
+        n = len(self.slots)
+        threshold = n - byzantine_tolerance(n)
+        if len(self._proposals) < threshold:
+            return
+        self._zero_phase_started = True
+        if self.zero_phase_grace > 0:
+            self.host.schedule(self.zero_phase_grace, self._vote_zero_on_missing)
+        else:
+            self._vote_zero_on_missing()
+
+    def _vote_zero_on_missing(self) -> None:
+        for slot in self.slots:
+            binary = self._binary[slot]
+            if not binary.started:
+                binary.propose(0)
+
+    def _on_binary_decide(self, context: str, value: int, certificate: Certificate) -> None:
+        slot = self._slot_of_binary_context(context)
+        if slot is None or slot in self._bits:
+            return
+        self._bits[slot] = value
+        self._binary_certs[slot] = certificate
+        self._maybe_complete()
+
+    def _slot_of_binary_context(self, context: str) -> Optional[ReplicaId]:
+        for slot in self.slots:
+            if context == self._binary_context(slot):
+                return slot
+        return None
+
+    # -- completion ------------------------------------------------------------------------
+
+    def _maybe_complete(self) -> None:
+        if self.decided:
+            return
+        if len(self._bits) < len(self.slots):
+            return
+        if all(bit == 0 for bit in self._bits.values()):
+            # SBC never decides the empty set: at least one slot must carry a
+            # proposal.  This can only transiently happen while late RBC
+            # deliveries are still pending, so keep waiting.
+            return
+        for slot, bit in self._bits.items():
+            if bit == 1 and slot not in self._proposals:
+                # The proposal content has not reached us yet; wait for the
+                # reliable broadcast to deliver it.
+                return
+        justification: List[SignedVote] = []
+        for slot in self.slots:
+            justification.extend(self._binary[slot].collected_votes)
+            if self._bits[slot] == 1:
+                justification.extend(self._rbc[slot].collected_votes)
+        self.decided = True
+        self.decision = SBCDecision(
+            instance=self.instance,
+            bitmask=dict(self._bits),
+            proposals={
+                slot: self._proposals[slot]
+                for slot, bit in self._bits.items()
+                if bit == 1
+            },
+            binary_certificates=dict(self._binary_certs),
+            justification_votes=justification,
+            rbc_certificates={
+                slot: cert
+                for slot, cert in self._rbc_certs.items()
+                if self._bits.get(slot) == 1
+            },
+            decided_at=self.host.now,
+        )
+        self.on_decide(self.decision)

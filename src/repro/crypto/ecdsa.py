@@ -1,0 +1,199 @@
+"""Pure-Python ECDSA over secp256k1.
+
+The paper signs transactions and protocol messages with ECDSA over the
+secp256k1 curve (§4.2.4), the same parameters Bitcoin uses.  This module
+implements the curve arithmetic, key generation, deterministic nonces
+(RFC 6979 style, via HMAC-SHA256) and low-s normalised signatures.
+
+The implementation favours clarity over speed: it is used to sign real
+transactions in tests and examples, while large simulations use the faster
+:class:`repro.crypto.signatures.SimulatedSigner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import secrets
+from typing import Optional, Tuple
+
+# secp256k1 domain parameters.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+# The point at infinity is represented as ``None``.
+Point = Optional[Tuple[int, int]]
+
+GENERATOR: Point = (GX, GY)
+
+
+def _inverse_mod(value: int, modulus: int) -> int:
+    """Return the modular inverse of ``value`` modulo ``modulus``."""
+    if value % modulus == 0:
+        raise ZeroDivisionError("inverse of zero is undefined")
+    return pow(value, -1, modulus)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Return True when ``point`` lies on secp256k1 (infinity counts)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - A * x - B) % P == 0
+
+
+def point_add(point_a: Point, point_b: Point) -> Point:
+    """Add two curve points."""
+    if point_a is None:
+        return point_b
+    if point_b is None:
+        return point_a
+    xa, ya = point_a
+    xb, yb = point_b
+    if xa == xb and (ya + yb) % P == 0:
+        return None
+    if point_a == point_b:
+        numerator = (3 * xa * xa + A) % P
+        denominator = _inverse_mod(2 * ya, P)
+    else:
+        numerator = (yb - ya) % P
+        denominator = _inverse_mod((xb - xa) % P, P)
+    slope = (numerator * denominator) % P
+    xr = (slope * slope - xa - xb) % P
+    yr = (slope * (xa - xr) - ya) % P
+    return (xr, yr)
+
+
+def point_multiply(scalar: int, point: Point) -> Point:
+    """Return ``scalar * point`` using double-and-add."""
+    if point is None or scalar % N == 0:
+        return None
+    if scalar < 0:
+        x, y = point  # type: ignore[misc]
+        return point_multiply(-scalar, (x, (-y) % P))
+    result: Point = None
+    addend: Point = point
+    k = scalar
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class EcdsaSignature:
+    """An ECDSA signature ``(r, s)`` with low-s normalisation applied."""
+
+    r: int
+    s: int
+
+    def to_payload(self) -> Tuple[int, int]:
+        return (self.r, self.s)
+
+    def encode(self) -> bytes:
+        """Serialise as 64 bytes (32-byte big-endian r and s)."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @staticmethod
+    def decode(data: bytes) -> "EcdsaSignature":
+        if len(data) != 64:
+            raise ValueError(f"expected 64-byte signature, got {len(data)} bytes")
+        return EcdsaSignature(
+            r=int.from_bytes(data[:32], "big"),
+            s=int.from_bytes(data[32:], "big"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EcdsaKeyPair:
+    """A secp256k1 key pair."""
+
+    private_key: int
+    public_key: Tuple[int, int]
+
+    def public_bytes(self) -> bytes:
+        """Uncompressed SEC1 encoding (0x04 || X || Y)."""
+        x, y = self.public_key
+        return b"\x04" + x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+
+def ecdsa_generate_keypair(seed: Optional[int] = None) -> EcdsaKeyPair:
+    """Generate a key pair; a ``seed`` makes generation deterministic for tests."""
+    if seed is not None:
+        digest = hashlib.sha256(f"repro-ecdsa-seed-{seed}".encode()).digest()
+        private = (int.from_bytes(digest, "big") % (N - 1)) + 1
+    else:
+        private = secrets.randbelow(N - 1) + 1
+    public = point_multiply(private, GENERATOR)
+    assert public is not None
+    return EcdsaKeyPair(private_key=private, public_key=public)
+
+
+def _message_digest(message: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big") % N
+
+
+def _deterministic_nonce(private_key: int, digest: int) -> int:
+    """Derive a deterministic nonce from the key and digest (RFC 6979 flavour)."""
+    key_bytes = private_key.to_bytes(32, "big")
+    digest_bytes = digest.to_bytes(32, "big")
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac.new(k, v + b"\x00" + key_bytes + digest_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + key_bytes + digest_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = int.from_bytes(v, "big")
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def ecdsa_sign(private_key: int, message: bytes) -> EcdsaSignature:
+    """Sign ``message`` (hashed internally with SHA-256)."""
+    digest = _message_digest(message)
+    while True:
+        nonce = _deterministic_nonce(private_key, digest)
+        point = point_multiply(nonce, GENERATOR)
+        assert point is not None
+        r = point[0] % N
+        if r == 0:
+            digest = (digest + 1) % N
+            continue
+        s = (_inverse_mod(nonce, N) * (digest + r * private_key)) % N
+        if s == 0:
+            digest = (digest + 1) % N
+            continue
+        if s > N // 2:
+            s = N - s
+        return EcdsaSignature(r=r, s=s)
+
+
+def ecdsa_verify(
+    public_key: Tuple[int, int], message: bytes, signature: EcdsaSignature
+) -> bool:
+    """Return True when ``signature`` is valid for ``message`` under ``public_key``."""
+    if not (1 <= signature.r < N and 1 <= signature.s < N):
+        return False
+    if not is_on_curve(public_key):
+        return False
+    digest = _message_digest(message)
+    s_inverse = _inverse_mod(signature.s, N)
+    u1 = (digest * s_inverse) % N
+    u2 = (signature.r * s_inverse) % N
+    point = point_add(
+        point_multiply(u1, GENERATOR), point_multiply(u2, public_key)
+    )
+    if point is None:
+        return False
+    return point[0] % N == signature.r

@@ -1,0 +1,75 @@
+"""SHA-256 helpers and canonical serialisation of structured payloads.
+
+Every protocol message, transaction and block in the reproduction is hashed
+through :func:`hash_payload`, which serialises nested Python structures into a
+canonical byte string first.  Canonicalisation matters: two replicas hashing
+the same logical payload must obtain the same digest, otherwise certificates
+built from signed hashes could not be cross-checked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    """Return the raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """Serialise ``payload`` into a canonical, order-stable byte string.
+
+    Supported types: ``None``, bool, int, float, str, bytes, and (possibly
+    nested) lists, tuples, dicts, sets and frozensets of supported types.
+    Dictionaries and sets are serialised in sorted order so the encoding does
+    not depend on insertion order or hash randomisation.
+    """
+    return _encode(payload)
+
+
+def _encode(value: Any) -> bytes:
+    if value is None:
+        return b"N;"
+    if isinstance(value, bool):
+        return b"B1;" if value else b"B0;"
+    if isinstance(value, int):
+        encoded = str(value).encode("ascii")
+        return b"I" + encoded + b";"
+    if isinstance(value, float):
+        encoded = repr(value).encode("ascii")
+        return b"F" + encoded + b";"
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return b"S" + str(len(encoded)).encode("ascii") + b":" + encoded + b";"
+    if isinstance(value, bytes):
+        return b"Y" + str(len(value)).encode("ascii") + b":" + value + b";"
+    if isinstance(value, (list, tuple)):
+        inner = b"".join(_encode(item) for item in value)
+        return b"L" + str(len(value)).encode("ascii") + b":" + inner + b";"
+    if isinstance(value, (set, frozenset)):
+        encoded_items = sorted(_encode(item) for item in value)
+        inner = b"".join(encoded_items)
+        return b"E" + str(len(value)).encode("ascii") + b":" + inner + b";"
+    if isinstance(value, dict):
+        encoded_items = sorted(
+            (_encode(key), _encode(val)) for key, val in value.items()
+        )
+        inner = b"".join(key + val for key, val in encoded_items)
+        return b"D" + str(len(value)).encode("ascii") + b":" + inner + b";"
+    # Objects that know how to serialise themselves participate transparently.
+    to_payload = getattr(value, "to_payload", None)
+    if callable(to_payload):
+        return b"O" + _encode(to_payload())
+    raise TypeError(f"cannot canonically encode value of type {type(value)!r}")
+
+
+def hash_payload(payload: Any) -> str:
+    """Return the hex SHA-256 digest of the canonical encoding of ``payload``."""
+    return sha256_hex(canonical_bytes(payload))

@@ -1,0 +1,123 @@
+"""Public-key infrastructure: the registry mapping replica ids to public keys.
+
+The paper assumes a standard PKI common to all replicas (§3.2).  The registry
+is the single verification entry point used by the accountability layer:
+certificates and proofs of fraud are validated by calling
+:meth:`KeyRegistry.verify` on each embedded :class:`SignedPayload`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.common.errors import InvalidSignatureError
+from repro.common.types import ReplicaId
+from repro.crypto.signatures import (
+    EcdsaSigner,
+    SignedPayload,
+    Signer,
+    SimulatedSigner,
+    scheme_for,
+)
+
+
+class KeyRegistry:
+    """Maps replica ids to their public verification material.
+
+    The registry also acts as a signer factory so tests and simulations can
+    provision a whole committee in one call (:meth:`provision`).
+    """
+
+    def __init__(self) -> None:
+        self._public: Dict[ReplicaId, Any] = {}
+        self._schemes: Dict[ReplicaId, str] = {}
+
+    def register(self, replica: ReplicaId, scheme: str, public_material: Any) -> None:
+        """Register (or overwrite) the public material of ``replica``."""
+        self._public[replica] = public_material
+        self._schemes[replica] = scheme
+
+    def register_signer(self, signer: Signer) -> None:
+        """Register the public material of an existing signer."""
+        self.register(signer.replica, signer.scheme_name, signer.public_material())
+
+    def knows(self, replica: ReplicaId) -> bool:
+        """Return True when ``replica`` has registered public material."""
+        return replica in self._public
+
+    def replicas(self) -> Iterable[ReplicaId]:
+        """Iterate over every registered replica id."""
+        return self._public.keys()
+
+    def verify(self, payload: Any, signed: SignedPayload) -> bool:
+        """Return True when ``signed`` validly signs ``payload``.
+
+        Unknown signers and scheme mismatches verify to False rather than
+        raising: a Byzantine replica may claim an arbitrary identity, and the
+        protocol treats such messages as invalid, not as crashes.
+        """
+        material = self._public.get(signed.signer)
+        if material is None:
+            return False
+        if self._schemes.get(signed.signer) != signed.scheme:
+            return False
+        scheme = scheme_for(signed.scheme)
+        return scheme.verify(payload, signed, material)
+
+    def require_valid(self, payload: Any, signed: SignedPayload) -> None:
+        """Raise :class:`InvalidSignatureError` when verification fails."""
+        if not self.verify(payload, signed):
+            raise InvalidSignatureError(
+                f"invalid signature from replica {signed.signer}"
+            )
+
+    @staticmethod
+    def provision(
+        replicas: Iterable[ReplicaId],
+        use_ecdsa: bool = False,
+        root_secret: bytes = b"repro-simulated",
+    ) -> "ProvisionedKeys":
+        """Create signers for ``replicas`` and a registry knowing all of them.
+
+        ``use_ecdsa=True`` provisions real secp256k1 keys (slow but faithful);
+        the default provisions :class:`SimulatedSigner` instances suitable for
+        large simulations.
+        """
+        registry = KeyRegistry()
+        signers: Dict[ReplicaId, Signer] = {}
+        for replica in replicas:
+            if use_ecdsa:
+                signer: Signer = EcdsaSigner(replica)
+            else:
+                signer = SimulatedSigner(replica, root_secret=root_secret)
+            signers[replica] = signer
+            registry.register_signer(signer)
+        return ProvisionedKeys(registry=registry, signers=signers)
+
+
+class ProvisionedKeys:
+    """The result of :meth:`KeyRegistry.provision`: a registry plus signers."""
+
+    def __init__(self, registry: KeyRegistry, signers: Dict[ReplicaId, Signer]):
+        self.registry = registry
+        self.signers = signers
+
+    def signer_for(self, replica: ReplicaId) -> Signer:
+        """Return the signer of ``replica``; raises KeyError if unknown."""
+        return self.signers[replica]
+
+    def add_replica(
+        self,
+        replica: ReplicaId,
+        use_ecdsa: bool = False,
+        root_secret: Optional[bytes] = None,
+    ) -> Signer:
+        """Provision and register a new replica (used by the inclusion phase)."""
+        if use_ecdsa:
+            signer: Signer = EcdsaSigner(replica)
+        else:
+            secret = root_secret if root_secret is not None else b"repro-simulated"
+            signer = SimulatedSigner(replica, root_secret=secret)
+        self.signers[replica] = signer
+        self.registry.register_signer(signer)
+        return signer

@@ -1,0 +1,32 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain rows (lists of dicts)
+so the same code backs the pytest benchmarks in ``benchmarks/`` and the
+runnable scripts in ``examples/``.  See DESIGN.md §4 for the experiment index
+and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.common import attack_sizes, figure_sizes, sweep_seeds
+from repro.experiments.fig3_throughput import run_fig3
+from repro.experiments.fig4_disagreements import run_fig4, run_attack_cell
+from repro.experiments.fig5_membership import run_fig5, run_catchup_timing
+from repro.experiments.fig6_blockdepth import run_fig6
+from repro.experiments.table1_merge import run_table1, merge_two_blocks
+from repro.experiments.sec53_catastrophic import run_sec53
+from repro.experiments.appendix_b import run_appendix_b
+
+__all__ = [
+    "attack_sizes",
+    "figure_sizes",
+    "sweep_seeds",
+    "run_fig3",
+    "run_fig4",
+    "run_attack_cell",
+    "run_fig5",
+    "run_catchup_timing",
+    "run_fig6",
+    "run_table1",
+    "merge_two_blocks",
+    "run_sec53",
+    "run_appendix_b",
+]

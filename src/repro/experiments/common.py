@@ -1,0 +1,33 @@
+"""Shared experiment configuration: sweep sizes per scale (see DESIGN.md §5)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.config import experiment_scale
+
+#: Committee sizes of the paper's figures (10..90/100 replicas).
+PAPER_FIGURE_SIZES: List[int] = [10, 20, 30, 40, 50, 60, 70, 80, 90]
+PAPER_ATTACK_SIZES: List[int] = [20, 40, 60, 80, 100]
+
+#: Reduced sweeps for the message-level attack simulations (pure Python).
+SMALL_FIGURE_SIZES: List[int] = [10, 20, 40, 60, 90]
+SMALL_ATTACK_SIZES: List[int] = [9, 12, 18]
+
+
+def figure_sizes(scale: Optional[str] = None) -> List[int]:
+    """Committee sizes for model-level figures (Fig. 3, Fig. 6 theory)."""
+    scale = scale or experiment_scale()
+    return list(PAPER_FIGURE_SIZES if scale == "full" else SMALL_FIGURE_SIZES)
+
+
+def attack_sizes(scale: Optional[str] = None) -> List[int]:
+    """Committee sizes for message-level attack simulations (Fig. 4, 5, §5.3)."""
+    scale = scale or experiment_scale()
+    return list(PAPER_ATTACK_SIZES if scale == "full" else SMALL_ATTACK_SIZES)
+
+
+def sweep_seeds(scale: Optional[str] = None) -> List[int]:
+    """Seeds per configuration (the paper averages 3–5 runs)."""
+    scale = scale or experiment_scale()
+    return [1, 2, 3] if scale == "full" else [1]

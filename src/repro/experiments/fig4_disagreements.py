@@ -1,0 +1,85 @@
+"""Figure 4: disagreeing decisions per committee size under both coalition attacks.
+
+Top plot: the binary consensus attack; bottom plot: the reliable broadcast
+attack.  Each cell runs the full ZLB stack with ``d = ceil(5n/9) - 1`` and
+``q = 0``, injecting the given delay distribution between the partitions of
+honest replicas, and counts the disagreeing proposals observed by honest
+replicas before the membership change recovers the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import FaultConfig
+from repro.experiments.common import attack_sizes, sweep_seeds
+from repro.zlb.system import AttackSpec, SystemResult, ZLBSystem
+
+#: The delay distributions of Figure 4.
+FIG4_DELAYS: Sequence[str] = ("200ms", "500ms", "1000ms", "gamma", "aws")
+
+
+def run_attack_cell(
+    n: int,
+    attack_kind: str,
+    cross_partition_delay: str,
+    seed: int = 1,
+    instances: int = 2,
+    max_time: float = 300.0,
+    benign: int = 0,
+    deceitful: Optional[int] = None,
+) -> SystemResult:
+    """One Figure 4 cell: one run of ZLB under one attack and one delay."""
+    if deceitful is None:
+        fault_config = FaultConfig.paper_attack(n, benign=benign)
+    else:
+        fault_config = FaultConfig(
+            n=n, deceitful=deceitful, benign=benign, enforce_model=False
+        )
+    system = ZLBSystem.create(
+        fault_config,
+        seed=seed,
+        delay="aws",
+        attack=AttackSpec(kind=attack_kind, cross_partition_delay=cross_partition_delay),
+        workload_transactions=12 * n,
+        batch_size=10,
+        max_time=max_time,
+    )
+    return system.run_instances(instances, until=max_time)
+
+
+def run_fig4(
+    attack_kind: str = "binary",
+    sizes: Optional[List[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    instances: int = 2,
+    max_time: float = 300.0,
+) -> List[Dict[str, object]]:
+    """One Figure 4 panel: rows of (delay, n) -> disagreements."""
+    sizes = sizes or attack_sizes()
+    delays = delays or FIG4_DELAYS
+    rows: List[Dict[str, object]] = []
+    for delay in delays:
+        for n in sizes:
+            disagreements: List[int] = []
+            for seed in sweep_seeds():
+                result = run_attack_cell(
+                    n,
+                    attack_kind,
+                    delay,
+                    seed=seed,
+                    instances=instances,
+                    max_time=max_time,
+                )
+                disagreements.append(result.disagreements)
+            rows.append(
+                {
+                    "attack": attack_kind,
+                    "delay": delay,
+                    "n": n,
+                    "disagreements": max(disagreements),
+                    "mean_disagreements": sum(disagreements) / len(disagreements),
+                    "recovered": result.recovered,
+                }
+            )
+    return rows

@@ -1,0 +1,113 @@
+"""Figure 5: time to detect, exclude, include and catch up.
+
+The first three series come from the same attack runs as Figure 4: the time
+for honest replicas to gather ``ceil(n/3)`` proofs of fraud (detect), the
+duration of the exclusion consensus and the duration of the inclusion
+consensus.  The catch-up series measures the time a newly included replica
+needs to verify the certificates of the blocks it is handed, as a function of
+the number of blocks and the committee size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.consensus.certificates import Certificate, VoteKind, make_vote
+from repro.crypto.keys import KeyRegistry
+from repro.experiments.common import attack_sizes, sweep_seeds
+from repro.experiments.fig4_disagreements import run_attack_cell
+
+#: Delay distributions of Figure 5 (left three plots).
+FIG5_DELAYS: Sequence[str] = ("gamma", "aws", "500ms", "1000ms")
+
+
+def run_fig5(
+    sizes: Optional[List[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    attack_kind: str = "binary",
+    instances: int = 2,
+    max_time: float = 300.0,
+) -> List[Dict[str, object]]:
+    """Detect / exclude / include times per delay distribution and size."""
+    sizes = sizes or attack_sizes()
+    delays = delays or FIG5_DELAYS
+    rows: List[Dict[str, object]] = []
+    for delay in delays:
+        for n in sizes:
+            detect: List[float] = []
+            exclude: List[float] = []
+            include: List[float] = []
+            for seed in sweep_seeds():
+                result = run_attack_cell(
+                    n,
+                    attack_kind,
+                    delay,
+                    seed=seed,
+                    instances=instances,
+                    max_time=max_time,
+                )
+                if result.detect_time is not None:
+                    detect.append(result.detect_time)
+                if result.exclusion_time is not None:
+                    exclude.append(result.exclusion_time)
+                if result.inclusion_time is not None:
+                    include.append(result.inclusion_time)
+            rows.append(
+                {
+                    "delay": delay,
+                    "n": n,
+                    "detect_s": round(sum(detect) / len(detect), 3) if detect else None,
+                    "exclude_s": (
+                        round(sum(exclude) / len(exclude), 3) if exclude else None
+                    ),
+                    "include_s": (
+                        round(sum(include) / len(include), 3) if include else None
+                    ),
+                }
+            )
+    return rows
+
+
+def run_catchup_timing(
+    sizes: Optional[Sequence[int]] = None,
+    block_counts: Sequence[int] = (10, 20, 30),
+    votes_per_certificate: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Figure 5 (right): wall-clock time to verify a catch-up of N blocks.
+
+    A new replica joining after a membership change must verify one quorum
+    certificate per block; the certificate size grows with the committee, which
+    is why the catch-up time grows roughly linearly with ``n``.
+    """
+    sizes = sizes or attack_sizes()
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        keys = KeyRegistry.provision(range(n))
+
+        class _Host:
+            def __init__(self, replica_id: int):
+                self.replica_id = replica_id
+
+            def sign(self, payload):
+                return keys.signer_for(self.replica_id).sign(payload)
+
+            def verify(self, payload, signed):
+                return keys.registry.verify(payload, signed)
+
+        quorum = votes_per_certificate or (2 * n // 3 + 1)
+        hosts = [_Host(i) for i in range(n)]
+        certificate = Certificate.from_votes(
+            make_vote(hosts[i], "catchup:block", 0, VoteKind.AUX, "digest")
+            for i in range(quorum)
+        )
+        verifier = hosts[0]
+        for blocks in block_counts:
+            start = time.perf_counter()
+            for _ in range(blocks):
+                certificate.verify(verifier, committee=range(n))
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {"n": n, "blocks": blocks, "catchup_s": round(elapsed, 4)}
+            )
+    return rows

@@ -1,0 +1,89 @@
+"""Figure 6: minimum finalization blockdepth for zero loss.
+
+The paper combines the measured disagreement frequencies of §5 with the
+Theorem .5 analysis: the probability that an attack succeeds on one block is
+estimated from how often the coalition managed to create a disagreement, and
+the minimum blockdepth ``m`` for ``D = G/10`` follows from
+``g(a, b, rho, m) >= 0``.  Because larger committees make the attack less
+likely to succeed (Fig. 4), the required blockdepth decreases with ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.zero_loss import (
+    attack_success_probability,
+    branch_bound,
+    minimum_blockdepth,
+)
+from repro.common.config import FaultConfig
+from repro.experiments.common import attack_sizes, sweep_seeds
+from repro.experiments.fig4_disagreements import run_attack_cell
+
+#: Figure 6 sweeps uniform 500 ms and 1000 ms delays for both attacks.
+FIG6_DELAYS: Sequence[str] = ("500ms", "1000ms")
+FIG6_ATTACKS: Sequence[str] = ("binary", "rbbcast")
+
+
+def run_fig6(
+    sizes: Optional[List[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    attacks: Optional[Sequence[str]] = None,
+    deposit_factor: float = 0.1,
+    instances: int = 2,
+    max_time: float = 300.0,
+) -> List[Dict[str, object]]:
+    """Minimum blockdepth per (attack, delay, n) with D = G/10."""
+    sizes = sizes or attack_sizes()
+    delays = delays or FIG6_DELAYS
+    attacks = attacks or FIG6_ATTACKS
+    rows: List[Dict[str, object]] = []
+    for attack in attacks:
+        for delay in delays:
+            for n in sizes:
+                fault_config = FaultConfig.paper_attack(n)
+                attacked_instances = 0
+                disagreement_instances = 0
+                for seed in sweep_seeds():
+                    result = run_attack_cell(
+                        n,
+                        attack,
+                        delay,
+                        seed=seed,
+                        instances=instances,
+                        max_time=max_time,
+                    )
+                    attacked_instances += instances
+                    disagreement_instances += len(result.disagreement_instances)
+                rho = attack_success_probability(
+                    disagreement_instances, attacked_instances
+                )
+                branches = branch_bound(n, fault_config.deceitful)
+                m = minimum_blockdepth(a=branches, b=deposit_factor, rho=rho)
+                rows.append(
+                    {
+                        "attack": attack,
+                        "delay": delay,
+                        "n": n,
+                        "estimated_rho": round(rho, 3),
+                        "branches": branches,
+                        "min_blockdepth": m,
+                    }
+                )
+    return rows
+
+
+def theoretical_blockdepth_curve(
+    deposit_factor: float = 0.1,
+    branches: int = 3,
+    probabilities: Sequence[float] = (0.1, 0.3, 0.5, 0.55, 0.7, 0.9),
+) -> List[Dict[str, float]]:
+    """Pure-theory companion curve: m as a function of rho (Appendix B text)."""
+    return [
+        {
+            "rho": rho,
+            "min_blockdepth": minimum_blockdepth(branches, deposit_factor, rho),
+        }
+        for rho in probabilities
+    ]

@@ -1,0 +1,62 @@
+"""Table 1: time to merge two fully-conflicting blocks locally.
+
+The paper reports 0.55 ms / 4.20 ms / 41.38 ms for blocks of 100 / 1,000 /
+10,000 transactions where *every* transaction conflicts (the worst case: each
+merged input must be refunded from the deposit).  The measurement is a local
+wall-clock time — no networking involved.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.ledger.block import Block
+from repro.ledger.merge import BlockchainRecord
+from repro.ledger.workload import conflicting_blocks_workload
+
+#: Block sizes of Table 1.
+TABLE1_SIZES: Sequence[int] = (100, 1_000, 10_000)
+
+
+def build_merge_fixture(num_transactions: int, seed: int = 0):
+    """Prepare a record that applied branch A and the conflicting branch-B block."""
+    branch_a, branch_b, allocations = conflicting_blocks_workload(
+        num_transactions, seed=seed
+    )
+    record = BlockchainRecord(
+        genesis_allocations=allocations,
+        initial_deposit=100 * num_transactions,
+    )
+    record.append_block(branch_a)
+    conflicting_block = Block(
+        index=1, parent_hash="other-branch", transactions=tuple(branch_b)
+    )
+    return record, conflicting_block
+
+
+def merge_two_blocks(num_transactions: int, seed: int = 0) -> float:
+    """Return the wall-clock seconds to merge one fully-conflicting block."""
+    record, conflicting_block = build_merge_fixture(num_transactions, seed=seed)
+    start = time.perf_counter()
+    outcome = record.merge_block(conflicting_block)
+    elapsed = time.perf_counter() - start
+    assert outcome.merged_transactions == num_transactions
+    return elapsed
+
+
+def run_table1(
+    sizes: Sequence[int] = TABLE1_SIZES, repetitions: int = 3
+) -> List[Dict[str, float]]:
+    """Table 1 rows: block size -> merge time in milliseconds (best of N)."""
+    rows: List[Dict[str, float]] = []
+    for size in sizes:
+        samples = [merge_two_blocks(size, seed=rep) for rep in range(repetitions)]
+        rows.append(
+            {
+                "blocksize_txs": size,
+                "merge_time_ms": round(min(samples) * 1000, 3),
+                "mean_merge_time_ms": round(sum(samples) / len(samples) * 1000, 3),
+            }
+        )
+    return rows

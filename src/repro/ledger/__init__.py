@@ -1,0 +1,33 @@
+"""The ledger substrate: UTXO transactions, blocks, mempool and block merging.
+
+ZLB inherits Bitcoin's UTXO model (§4.2.2): account balances live in a UTXO
+table kept in memory, transactions consume UTXOs of the source accounts and
+produce new ones for the recipients.  The distinguishing piece is
+:mod:`repro.ledger.merge`: instead of discarding one branch of a fork, the
+Blockchain Manager merges conflicting blocks and refunds conflicting inputs
+from the deposits of the deceitful replicas (Alg. 2 of the paper).
+"""
+
+from repro.ledger.transaction import Transaction, TxInput, TxOutput
+from repro.ledger.wallet import Wallet
+from repro.ledger.utxo import UTXO, UTXOTable
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.mempool import Mempool
+from repro.ledger.merge import BlockchainRecord, MergeOutcome
+from repro.ledger.workload import TransferWorkload, double_spend_pair
+
+__all__ = [
+    "Transaction",
+    "TxInput",
+    "TxOutput",
+    "Wallet",
+    "UTXO",
+    "UTXOTable",
+    "Block",
+    "make_genesis_block",
+    "Mempool",
+    "BlockchainRecord",
+    "MergeOutcome",
+    "TransferWorkload",
+    "double_spend_pair",
+]

@@ -1,0 +1,111 @@
+"""Blocks and the genesis block.
+
+A block batches the transactions decided by one consensus instance.  Because
+ZLB solves *Set* Byzantine Consensus, a decided "block" at index ``k`` is the
+union of several proposals; the block records which proposers contributed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.types import ReplicaId
+from repro.crypto.hashing import hash_payload
+from repro.crypto.merkle import merkle_root
+from repro.ledger.transaction import Transaction, TxOutput
+from repro.ledger.utxo import UTXO
+
+
+@dataclasses.dataclass
+class Block:
+    """A block of transactions at a given consensus index.
+
+    Attributes:
+        index: the consensus instance that decided this block.
+        parent_hash: hash of the previous block on this replica's branch.
+        transactions: the decided, validated transactions.
+        proposers: replicas whose proposals contributed transactions.
+        timestamp: simulated time at which the block was decided.
+    """
+
+    index: int
+    parent_hash: str
+    transactions: Tuple[Transaction, ...]
+    proposers: Tuple[ReplicaId, ...] = ()
+    timestamp: float = 0.0
+
+    def header_payload(self) -> Dict[str, object]:
+        """The hashed block header."""
+        return {
+            "index": self.index,
+            "parent_hash": self.parent_hash,
+            "merkle_root": self.merkle_root,
+            "proposers": list(self.proposers),
+            "tx_count": len(self.transactions),
+        }
+
+    @property
+    def merkle_root(self) -> str:
+        """Merkle root over the transaction ids."""
+        return merkle_root([tx.tx_id for tx in self.transactions])
+
+    @property
+    def block_hash(self) -> str:
+        """Content-derived block identifier."""
+        return hash_payload(self.header_payload())
+
+    def to_payload(self) -> Dict[str, object]:
+        return self.header_payload()
+
+    def tx_ids(self) -> List[str]:
+        """Transaction ids in block order."""
+        return [tx.tx_id for tx in self.transactions]
+
+    def conflicts_with(self, other: "Block") -> bool:
+        """True when the blocks sit at the same index but differ in content."""
+        return self.index == other.index and self.block_hash != other.block_hash
+
+    def total_output_value(self) -> int:
+        """Sum of every output in the block — the 'gain' G of Appendix B."""
+        return sum(tx.total_output() for tx in self.transactions)
+
+
+GENESIS_PARENT = "0" * 64
+
+
+def make_genesis_block(
+    allocations: Sequence[Tuple[str, int]], timestamp: float = 0.0
+) -> Tuple[Block, List[UTXO]]:
+    """Create the genesis block assigning initial balances.
+
+    Returns the block and the initial UTXO set (one UTXO per allocation).  The
+    genesis transactions have no inputs; they are exempt from the normal
+    verification path and only ever applied at chain construction.
+    """
+    transactions: List[Transaction] = []
+    utxos: List[UTXO] = []
+    for index, (account, amount) in enumerate(allocations):
+        # The nonce is the allocation index so that identical (account, amount)
+        # allocations still yield distinct transactions and distinct UTXO ids.
+        transaction = Transaction(
+            inputs=(),
+            outputs=(TxOutput(account=account, amount=amount),),
+            nonce=index,
+        )
+        transactions.append(transaction)
+        utxos.append(
+            UTXO(
+                utxo_id=transaction.output_utxo_id(0),
+                account=account,
+                amount=amount,
+            )
+        )
+    block = Block(
+        index=0,
+        parent_hash=GENESIS_PARENT,
+        transactions=tuple(transactions),
+        proposers=(),
+        timestamp=timestamp,
+    )
+    return block, utxos

@@ -1,0 +1,70 @@
+"""The mempool: pending client transactions awaiting inclusion in a proposal.
+
+Replicas batch pending requests into proposals of ``batch_size`` transactions
+(the paper uses 10,000 per proposal).  The mempool deduplicates by transaction
+id, preserves arrival order and drops transactions once they are decided.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+from repro.ledger.transaction import Transaction
+
+
+class Mempool:
+    """An ordered, deduplicating pool of pending transactions."""
+
+    def __init__(self, max_size: Optional[int] = None):
+        self._pending: "OrderedDict[str, Transaction]" = OrderedDict()
+        self.max_size = max_size
+        self.dropped = 0
+
+    def add(self, transaction: Transaction) -> bool:
+        """Add a transaction; returns False when duplicate or pool is full."""
+        if transaction.tx_id in self._pending:
+            return False
+        if self.max_size is not None and len(self._pending) >= self.max_size:
+            self.dropped += 1
+            return False
+        self._pending[transaction.tx_id] = transaction
+        return True
+
+    def add_all(self, transactions: Iterable[Transaction]) -> int:
+        """Add many transactions; returns how many were accepted."""
+        return sum(1 for tx in transactions if self.add(tx))
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pending
+
+    def peek_batch(self, batch_size: int) -> List[Transaction]:
+        """Return (without removing) the next ``batch_size`` transactions."""
+        batch: List[Transaction] = []
+        for transaction in self._pending.values():
+            if len(batch) >= batch_size:
+                break
+            batch.append(transaction)
+        return batch
+
+    def take_batch(self, batch_size: int) -> List[Transaction]:
+        """Remove and return the next ``batch_size`` transactions."""
+        batch = self.peek_batch(batch_size)
+        for transaction in batch:
+            del self._pending[transaction.tx_id]
+        return batch
+
+    def remove_decided(self, tx_ids: Iterable[str]) -> int:
+        """Drop transactions that have been decided elsewhere; returns count."""
+        removed = 0
+        for tx_id in tx_ids:
+            if self._pending.pop(tx_id, None) is not None:
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Empty the pool."""
+        self._pending.clear()

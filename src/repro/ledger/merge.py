@@ -1,0 +1,245 @@
+"""Block merge — Algorithm 2 of the paper.
+
+When a fork is detected, ZLB does not discard the conflicting blocks: it merges
+them.  The blockchain record ``Omega`` keeps, next to the chain itself, a
+*deposit* funded by the consensus replicas, the set of inputs whose funding had
+to come from that deposit, and the set of punished account addresses.  Merging
+a conflicting block walks its transactions: inputs that are still spendable are
+consumed normally, inputs that were already consumed on the local branch are
+refunded from the deposit (Alg. 2 lines 20–22), and outputs reaching punished
+accounts are confiscated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.errors import InvalidTransactionError, LedgerError
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.transaction import Transaction, TxInput
+from repro.ledger.utxo import UTXO, UTXOTable
+
+
+@dataclasses.dataclass
+class MergeOutcome:
+    """Summary of one call to :meth:`BlockchainRecord.merge_block`."""
+
+    merged_transactions: int = 0
+    already_known: int = 0
+    refunded_inputs: int = 0
+    refunded_amount: int = 0
+    confiscated_outputs: int = 0
+    deposit_after: int = 0
+
+
+class BlockchainRecord:
+    """The blockchain state ``Omega`` of Algorithm 2.
+
+    Attributes:
+        deposit: coins currently held in the shared slashing deposit.
+        inputs_deposit: inputs refunded from the deposit, pending reimbursement
+            (Alg. 2 ``inputs-deposit``).
+        punished_accounts: account addresses belonging to excluded deceitful
+            replicas; their future outputs are confiscated into the deposit.
+    """
+
+    def __init__(
+        self,
+        genesis_allocations: Iterable[Tuple[str, int]] = (),
+        initial_deposit: int = 0,
+    ):
+        genesis_block, genesis_utxos = make_genesis_block(list(genesis_allocations))
+        self.blocks: List[Block] = [genesis_block]
+        self.utxos = UTXOTable(genesis_utxos)
+        self.known_tx_ids: Set[str] = {tx.tx_id for tx in genesis_block.transactions}
+        self.deposit = initial_deposit
+        self.inputs_deposit: Dict[str, TxInput] = {}
+        self.punished_accounts: Set[str] = set()
+        # Blocks observed on conflicting branches, kept for audit purposes.
+        self.merged_blocks: List[Block] = []
+
+    # -- plain chain growth ----------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Index of the latest appended block."""
+        return self.blocks[-1].index
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the latest appended block."""
+        return self.blocks[-1].block_hash
+
+    def contains_tx(self, tx_id: str) -> bool:
+        """True when a transaction is already part of the record."""
+        return tx_id in self.known_tx_ids
+
+    def validate_for_append(self, transactions: Iterable[Transaction]) -> List[Transaction]:
+        """Filter ``transactions`` down to the valid, applicable, non-duplicate ones.
+
+        Used when building a block out of decided proposals: SBC-Validity only
+        requires decided transactions to be valid and non-conflicting, so
+        invalid or conflicting ones are dropped deterministically here.
+        """
+        accepted: List[Transaction] = []
+        scratch = self.utxos.snapshot()
+        for transaction in transactions:
+            if transaction.tx_id in self.known_tx_ids:
+                continue
+            if not transaction.is_valid():
+                continue
+            if not scratch.can_apply(transaction):
+                continue
+            # Applying to the scratch table both reserves the consumed inputs
+            # (so later conflicting transactions are dropped) and exposes the
+            # freshly created outputs to later transactions in the same batch.
+            scratch.apply_transaction(transaction)
+            accepted.append(transaction)
+        return accepted
+
+    def append_block(
+        self,
+        transactions: Iterable[Transaction],
+        proposers: Tuple[int, ...] = (),
+        timestamp: float = 0.0,
+        validate: bool = True,
+    ) -> Block:
+        """Append a new block on the local branch, applying its transactions."""
+        txs = list(transactions)
+        if validate:
+            txs = self.validate_for_append(txs)
+        block = Block(
+            index=self.height + 1,
+            parent_hash=self.head_hash,
+            transactions=tuple(txs),
+            proposers=proposers,
+            timestamp=timestamp,
+        )
+        for transaction in txs:
+            self.utxos.apply_transaction(transaction)
+            self.known_tx_ids.add(transaction.tx_id)
+        self.blocks.append(block)
+        self._confiscate_punished_outputs(txs)
+        return block
+
+    # -- deposits and punishment ------------------------------------------------
+
+    def fund_deposit(self, amount: int) -> None:
+        """Add ``amount`` coins to the shared deposit (replica staking)."""
+        if amount < 0:
+            raise LedgerError("deposit funding must be non-negative")
+        self.deposit += amount
+
+    def punish_account(self, account: str) -> int:
+        """Confiscate the account's unspent outputs into the deposit.
+
+        Called by the application layer when the membership change excludes a
+        deceitful replica (Alg. 1 line 38).  Returns the confiscated amount.
+        """
+        self.punished_accounts.add(account)
+        confiscated = 0
+        for utxo in list(self.utxos.utxos_of(account)):
+            self.utxos.remove(utxo.utxo_id)
+            confiscated += utxo.amount
+        self.deposit += confiscated
+        return confiscated
+
+    def _confiscate_punished_outputs(self, transactions: Iterable[Transaction]) -> int:
+        """Confiscate freshly created outputs addressed to punished accounts."""
+        confiscated = 0
+        for transaction in transactions:
+            for index, tx_output in enumerate(transaction.outputs):
+                if tx_output.account not in self.punished_accounts:
+                    continue
+                utxo_id = transaction.output_utxo_id(index)
+                if self.utxos.contains(utxo_id):
+                    self.utxos.remove(utxo_id)
+                    self.deposit += tx_output.amount
+                    confiscated += 1
+        return confiscated
+
+    # -- Algorithm 2: merging a conflicting block --------------------------------
+
+    def merge_block(self, block: Block) -> MergeOutcome:
+        """Merge a conflicting block received from another branch (Alg. 2).
+
+        Every transaction not already known is committed through
+        ``CommitTxMerge``: spendable inputs are consumed normally; inputs that
+        were already spent on the local branch are refunded from the deposit.
+        Outputs addressed to punished accounts are confiscated.  Finally,
+        ``RefundInputs`` re-fills the deposit with any previously-refunded
+        input that has become spendable again.
+        """
+        outcome = MergeOutcome()
+        for transaction in block.transactions:
+            if self.contains_tx(transaction.tx_id):
+                outcome.already_known += 1
+                continue
+            self._commit_tx_merge(transaction, outcome)
+            outcome.merged_transactions += 1
+            for index, tx_output in enumerate(transaction.outputs):
+                if tx_output.account in self.punished_accounts:
+                    utxo_id = transaction.output_utxo_id(index)
+                    if self.utxos.contains(utxo_id):
+                        self.utxos.remove(utxo_id)
+                        self.deposit += tx_output.amount
+                        outcome.confiscated_outputs += 1
+        self._refund_inputs(outcome)
+        self.merged_blocks.append(block)
+        outcome.deposit_after = self.deposit
+        return outcome
+
+    def _commit_tx_merge(self, transaction: Transaction, outcome: MergeOutcome) -> None:
+        """``CommitTxMerge`` (Alg. 2 lines 17–23)."""
+        for tx_input in transaction.inputs:
+            if not self.utxos.contains(tx_input.utxo_id):
+                # The input was spent on our branch: fund the conflict from the
+                # deposit so no honest recipient loses coins.
+                self.inputs_deposit[tx_input.utxo_id] = tx_input
+                self.deposit -= tx_input.amount
+                outcome.refunded_inputs += 1
+                outcome.refunded_amount += tx_input.amount
+            else:
+                self.utxos.remove(tx_input.utxo_id)
+        for index, tx_output in enumerate(transaction.outputs):
+            utxo_id = transaction.output_utxo_id(index)
+            if not self.utxos.contains(utxo_id):
+                self.utxos.add(
+                    UTXO(
+                        utxo_id=utxo_id,
+                        account=tx_output.account,
+                        amount=tx_output.amount,
+                    )
+                )
+        self.known_tx_ids.add(transaction.tx_id)
+
+    def _refund_inputs(self, outcome: MergeOutcome) -> None:
+        """``RefundInputs`` (Alg. 2 lines 24–28)."""
+        for utxo_id, tx_input in list(self.inputs_deposit.items()):
+            if self.utxos.contains(utxo_id):
+                self.utxos.remove(utxo_id)
+                self.deposit += tx_input.amount
+                del self.inputs_deposit[utxo_id]
+
+    # -- observability ------------------------------------------------------------
+
+    def deposit_shortfall(self) -> int:
+        """How far the deposit has gone negative (0 when fully funded).
+
+        A positive shortfall means honest participants would have lost coins;
+        the zero-loss analysis (Appendix B) chooses deposits so this stays 0.
+        """
+        return max(0, -self.deposit)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts used by tests and experiment reports."""
+        return {
+            "height": self.height,
+            "transactions": len(self.known_tx_ids),
+            "utxos": len(self.utxos),
+            "deposit": self.deposit,
+            "pending_deposit_inputs": len(self.inputs_deposit),
+            "punished_accounts": len(self.punished_accounts),
+            "merged_blocks": len(self.merged_blocks),
+        }

@@ -1,0 +1,169 @@
+"""The in-memory UTXO table.
+
+§4.2.2: "the balance of each account in the system is stored in the form of a
+UTXO table ... Each replica can typically access the UTXO table directly in
+memory for faster execution of transactions."  The table maps UTXO identifiers
+to :class:`UTXO` records and supports the two operations the Blockchain
+Manager needs: applying a non-conflicting transaction and answering whether a
+given input is currently spendable (used during merges).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.common.errors import InvalidTransactionError, LedgerError
+from repro.ledger.transaction import Transaction, TxInput
+
+
+@dataclasses.dataclass(frozen=True)
+class UTXO:
+    """An unspent transaction output."""
+
+    utxo_id: str
+    account: str
+    amount: int
+
+    def as_input(self) -> TxInput:
+        """Return a :class:`TxInput` consuming this output."""
+        return TxInput(utxo_id=self.utxo_id, account=self.account, amount=self.amount)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "utxo_id": self.utxo_id,
+            "account": self.account,
+            "amount": self.amount,
+        }
+
+
+class UTXOTable:
+    """Mutable mapping of unspent outputs with per-account indexing."""
+
+    def __init__(self, initial: Iterable[UTXO] = ()):
+        self._by_id: Dict[str, UTXO] = {}
+        self._by_account: Dict[str, List[str]] = {}
+        for utxo in initial:
+            self.add(utxo)
+
+    # -- basic operations ----------------------------------------------------
+
+    def add(self, utxo: UTXO) -> None:
+        """Insert a new unspent output; duplicates are rejected."""
+        if utxo.utxo_id in self._by_id:
+            raise LedgerError(f"UTXO {utxo.utxo_id} already present")
+        if utxo.amount <= 0:
+            raise LedgerError(f"UTXO {utxo.utxo_id} must have positive amount")
+        self._by_id[utxo.utxo_id] = utxo
+        self._by_account.setdefault(utxo.account, []).append(utxo.utxo_id)
+
+    def remove(self, utxo_id: str) -> UTXO:
+        """Consume (remove) the UTXO with the given id."""
+        utxo = self._by_id.pop(utxo_id, None)
+        if utxo is None:
+            raise LedgerError(f"UTXO {utxo_id} is not spendable")
+        account_list = self._by_account.get(utxo.account, [])
+        if utxo_id in account_list:
+            account_list.remove(utxo_id)
+            if not account_list:
+                del self._by_account[utxo.account]
+        return utxo
+
+    def contains(self, utxo_id: str) -> bool:
+        """True when the output is currently unspent."""
+        return utxo_id in self._by_id
+
+    def get(self, utxo_id: str) -> Optional[UTXO]:
+        """Return the UTXO or None when already spent/unknown."""
+        return self._by_id.get(utxo_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[UTXO]:
+        return iter(self._by_id.values())
+
+    # -- account views -------------------------------------------------------
+
+    def balance(self, account: str) -> int:
+        """Total unspent value held by ``account``."""
+        return sum(
+            self._by_id[utxo_id].amount
+            for utxo_id in self._by_account.get(account, ())
+        )
+
+    def utxos_of(self, account: str) -> List[UTXO]:
+        """All unspent outputs of ``account`` (insertion order)."""
+        return [self._by_id[utxo_id] for utxo_id in self._by_account.get(account, ())]
+
+    def select_inputs(self, account: str, amount: int) -> List[TxInput]:
+        """Greedily select inputs of ``account`` covering at least ``amount``.
+
+        Raises :class:`InvalidTransactionError` when the balance is too low.
+        The selection consumes as many (largest-first) UTXOs as needed, which
+        keeps the table compact as the paper recommends.
+        """
+        if amount <= 0:
+            raise InvalidTransactionError("amount must be positive")
+        candidates = sorted(
+            self.utxos_of(account), key=lambda utxo: utxo.amount, reverse=True
+        )
+        selected: List[TxInput] = []
+        covered = 0
+        for utxo in candidates:
+            selected.append(utxo.as_input())
+            covered += utxo.amount
+            if covered >= amount:
+                return selected
+        raise InvalidTransactionError(
+            f"account {account} holds {covered}, cannot cover {amount}"
+        )
+
+    # -- transaction application ---------------------------------------------
+
+    def can_apply(self, transaction: Transaction) -> bool:
+        """True when every input of ``transaction`` is currently spendable."""
+        return all(self.contains(tx_input.utxo_id) for tx_input in transaction.inputs)
+
+    def apply_transaction(self, transaction: Transaction) -> List[UTXO]:
+        """Atomically consume the inputs and create the outputs.
+
+        Raises :class:`InvalidTransactionError` when any input is not
+        spendable or recorded amounts disagree with the table; on failure the
+        table is left untouched.
+        """
+        consumed: List[UTXO] = []
+        for tx_input in transaction.inputs:
+            utxo = self.get(tx_input.utxo_id)
+            if utxo is None:
+                raise InvalidTransactionError(
+                    f"input {tx_input.utxo_id} is not spendable"
+                )
+            if utxo.account != tx_input.account or utxo.amount != tx_input.amount:
+                raise InvalidTransactionError(
+                    f"input {tx_input.utxo_id} does not match the UTXO table"
+                )
+            consumed.append(utxo)
+        for utxo in consumed:
+            self.remove(utxo.utxo_id)
+        created: List[UTXO] = []
+        for index, tx_output in enumerate(transaction.outputs):
+            utxo = UTXO(
+                utxo_id=transaction.output_utxo_id(index),
+                account=tx_output.account,
+                amount=tx_output.amount,
+            )
+            self.add(utxo)
+            created.append(utxo)
+        return created
+
+    def total_supply(self) -> int:
+        """Sum of every unspent output — conserved by valid transactions."""
+        return sum(utxo.amount for utxo in self._by_id.values())
+
+    def snapshot(self) -> "UTXOTable":
+        """Return an independent copy of the table."""
+        return UTXOTable(initial=list(self._by_id.values()))
+
+    def to_payload(self) -> List[Dict[str, object]]:
+        return [utxo.to_payload() for utxo in sorted(self._by_id.values(), key=lambda u: u.utxo_id)]

@@ -1,0 +1,35 @@
+"""Discrete-event network simulation substrate.
+
+The paper evaluates ZLB on 90–100 AWS machines across five regions; the
+reproduction replaces the physical network with a deterministic discrete-event
+simulator (see DESIGN.md §2).  The simulator delivers messages after delays
+drawn from pluggable :mod:`delay models <repro.network.delays>`, including the
+partition-aware delays used to mount the coalition attacks of §5.2–§5.3.
+"""
+
+from repro.network.message import Message
+from repro.network.delays import (
+    AwsRegionDelay,
+    ConstantDelay,
+    DelayModel,
+    GammaDelay,
+    PartitionedDelay,
+    UniformDelay,
+    delay_model_from_name,
+)
+from repro.network.partition import PartitionSpec
+from repro.network.simulator import NetworkSimulator, Process
+
+__all__ = [
+    "Message",
+    "AwsRegionDelay",
+    "ConstantDelay",
+    "DelayModel",
+    "GammaDelay",
+    "PartitionedDelay",
+    "UniformDelay",
+    "delay_model_from_name",
+    "PartitionSpec",
+    "NetworkSimulator",
+    "Process",
+]

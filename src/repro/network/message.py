@@ -1,0 +1,88 @@
+"""Typed message envelopes exchanged between simulated replicas.
+
+Every protocol message travels inside a :class:`Message`: the envelope names
+the sender, the recipient, the protocol that should consume it (``protocol``),
+a message ``kind`` within that protocol and a free-form ``body``.  Signed
+content (votes, echoes, certificates) is carried inside the body as
+:class:`~repro.crypto.signatures.SignedPayload` objects so accountability can
+later re-verify it independently of the envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.common.types import ReplicaId
+
+_message_counter = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """A network message envelope.
+
+    Attributes:
+        sender: replica id of the sender (as claimed on the wire; protocols
+            that care about authenticity verify the signed content instead).
+        recipient: replica id of the destination.
+        protocol: name of the protocol instance that should consume the
+            message, e.g. ``"rbc:5:2"`` (reliable broadcast for consensus
+            instance 5, proposer 2).
+        kind: message kind within the protocol, e.g. ``"ECHO"``.
+        body: free-form payload dictionary.
+        uid: unique, monotonically increasing message id (simulation-local);
+            useful for deterministic tie-breaking and debugging.
+    """
+
+    sender: ReplicaId
+    recipient: ReplicaId
+    protocol: str
+    kind: str
+    body: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    uid: int = dataclasses.field(default_factory=lambda: next(_message_counter))
+
+    def with_recipient(self, recipient: ReplicaId) -> "Message":
+        """Return a copy of the message addressed to ``recipient``.
+
+        The body dictionary is shared, not copied: protocol code treats bodies
+        as immutable once sent.  A fresh ``uid`` is allocated so each copy can
+        be traced individually.
+        """
+        return Message(
+            sender=self.sender,
+            recipient=recipient,
+            protocol=self.protocol,
+            kind=self.kind,
+            body=self.body,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable description used in logs and error messages."""
+        return (
+            f"{self.protocol}/{self.kind} from {self.sender} to {self.recipient}"
+        )
+
+
+def reset_message_counter() -> None:
+    """Reset the global message uid counter (test isolation helper)."""
+    global _message_counter
+    _message_counter = itertools.count()
+
+
+def estimate_size_bytes(body: Dict[str, Any], base_overhead: int = 64) -> int:
+    """Rough wire-size estimate of a message body, used by the cost models.
+
+    The estimate counts canonical-encoding bytes plus a fixed envelope
+    overhead.  It only needs to be *consistent*, not exact: the throughput
+    model compares protocols whose messages are estimated the same way.
+    """
+    from repro.crypto.hashing import canonical_bytes
+
+    try:
+        return base_overhead + len(canonical_bytes(body))
+    except TypeError:
+        # Bodies containing non-canonical objects (rare, test-only) fall back
+        # to a conservative flat estimate.
+        return base_overhead + 512

@@ -1,0 +1,106 @@
+"""Partition specifications for coalition attacks.
+
+To make honest replicas disagree, the adversary of §5.2 splits them into
+``a`` partitions (``a`` bounded by the branch formula of Appendix B) and slows
+the links between partitions while deceitful replicas talk to every partition
+normally.  :class:`PartitionSpec` captures that split and answers the two
+questions the attack machinery needs: which partition an honest replica
+belongs to, and whether a link crosses partitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ReplicaId, ReplicaSet, as_replica_set
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSpec:
+    """Assignment of honest replicas to partitions; deceitful replicas bridge all.
+
+    Attributes:
+        partitions: tuple of frozensets of replica ids, one per partition.
+        bridging: replicas (typically the deceitful coalition) that are not in
+            any partition and communicate normally with everyone.
+    """
+
+    partitions: Tuple[ReplicaSet, ...]
+    bridging: ReplicaSet = frozenset()
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for partition in self.partitions:
+            overlap = seen & set(partition)
+            if overlap:
+                raise ConfigurationError(
+                    f"replicas {sorted(overlap)} appear in multiple partitions"
+                )
+            seen.update(partition)
+        overlap = seen & set(self.bridging)
+        if overlap:
+            raise ConfigurationError(
+                f"bridging replicas {sorted(overlap)} also appear in a partition"
+            )
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of honest partitions."""
+        return len(self.partitions)
+
+    def partition_of(self, replica: ReplicaId) -> Optional[int]:
+        """Return the partition index of ``replica`` or None if it bridges."""
+        for index, partition in enumerate(self.partitions):
+            if replica in partition:
+                return index
+        return None
+
+    def crosses_partitions(self, sender: ReplicaId, recipient: ReplicaId) -> bool:
+        """True when both endpoints are partitioned and in different partitions."""
+        sender_partition = self.partition_of(sender)
+        recipient_partition = self.partition_of(recipient)
+        if sender_partition is None or recipient_partition is None:
+            return False
+        return sender_partition != recipient_partition
+
+    def members(self) -> ReplicaSet:
+        """All replicas covered by the spec (partitioned plus bridging)."""
+        covered = set(self.bridging)
+        for partition in self.partitions:
+            covered.update(partition)
+        return frozenset(covered)
+
+    @staticmethod
+    def split_evenly(
+        honest: Iterable[ReplicaId],
+        num_partitions: int,
+        bridging: Iterable[ReplicaId] = (),
+    ) -> "PartitionSpec":
+        """Split ``honest`` replicas into ``num_partitions`` near-equal groups.
+
+        The split is deterministic (sorted ids dealt round-robin) so attack
+        experiments are reproducible for a given committee.
+        """
+        if num_partitions <= 0:
+            raise ConfigurationError("num_partitions must be positive")
+        honest_sorted: List[ReplicaId] = sorted(set(int(r) for r in honest))
+        if not honest_sorted and num_partitions > 0:
+            raise ConfigurationError("cannot partition an empty honest set")
+        groups: List[List[ReplicaId]] = [[] for _ in range(num_partitions)]
+        for index, replica in enumerate(honest_sorted):
+            groups[index % num_partitions].append(replica)
+        partitions = tuple(frozenset(group) for group in groups if group)
+        return PartitionSpec(
+            partitions=partitions, bridging=as_replica_set(bridging)
+        )
+
+    def describe(self) -> Dict[str, Sequence[int]]:
+        """Human-readable summary: partition index -> sorted member list."""
+        summary: Dict[str, Sequence[int]] = {
+            f"partition-{index}": sorted(partition)
+            for index, partition in enumerate(self.partitions)
+        }
+        summary["bridging"] = sorted(self.bridging)
+        return summary

@@ -1,0 +1,334 @@
+"""The discrete-event network simulator.
+
+The simulator owns a priority queue of events (message deliveries and timers),
+a clock, and the set of :class:`Process` instances standing in for replicas.
+Delays come from a :class:`~repro.network.delays.DelayModel`; randomness comes
+from a single seeded :class:`random.Random` so every run is reproducible.
+
+The design keeps protocol code synchronous and callback-driven: a process
+reacts to :meth:`Process.on_message` and timer callbacks, possibly sending new
+messages, and the simulator interleaves everything in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import SimulationError
+from repro.common.types import ReplicaId
+from repro.network.delays import ConstantDelay, DelayModel
+from repro.network.message import Message
+
+
+class Process:
+    """Base class of every simulated replica/protocol endpoint.
+
+    Subclasses implement :meth:`on_message` and may override :meth:`on_start`.
+    A process may only send messages once it has been added to a simulator.
+    """
+
+    def __init__(self, replica_id: ReplicaId):
+        self.replica_id = replica_id
+        self._simulator: Optional["NetworkSimulator"] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, simulator: "NetworkSimulator") -> None:
+        """Attach the process to a simulator (called by ``add_process``)."""
+        self._simulator = simulator
+
+    @property
+    def simulator(self) -> "NetworkSimulator":
+        if self._simulator is None:
+            raise SimulationError(
+                f"process {self.replica_id} is not attached to a simulator"
+            )
+        return self._simulator
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.simulator.now
+
+    # -- communication -------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a point-to-point message."""
+        self.simulator.submit(message)
+
+    def send_to(self, recipient: ReplicaId, protocol: str, kind: str, body: dict) -> None:
+        """Convenience wrapper building the envelope and sending it."""
+        self.send(
+            Message(
+                sender=self.replica_id,
+                recipient=recipient,
+                protocol=protocol,
+                kind=kind,
+                body=body,
+            )
+        )
+
+    def broadcast(
+        self,
+        protocol: str,
+        kind: str,
+        body: dict,
+        include_self: bool = True,
+        recipients: Optional[Iterable[ReplicaId]] = None,
+    ) -> None:
+        """Send the same message to every replica known to the simulator.
+
+        ``recipients`` restricts the broadcast (used by deceitful replicas to
+        equivocate towards specific partitions).
+        """
+        targets = (
+            list(recipients)
+            if recipients is not None
+            else list(self.simulator.replica_ids())
+        )
+        for target in targets:
+            if not include_self and target == self.replica_id:
+                continue
+            self.send_to(target, protocol, kind, body)
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run after ``delay`` simulated seconds."""
+        return self.simulator.schedule(delay, callback, owner=self.replica_id)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        """Cancel a previously scheduled timer (no-op if already fired)."""
+        self.simulator.cancel(timer_id)
+
+    # -- protocol hooks ------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Hook invoked when the simulation starts (before any message)."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message."""
+        raise NotImplementedError
+
+
+class _Event:
+    """Internal event record ordered by (time, sequence number)."""
+
+    __slots__ = ("time", "seq", "kind", "message", "callback", "cancelled")
+
+    DELIVERY = "delivery"
+    TIMER = "timer"
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        kind: str,
+        message: Optional[Message] = None,
+        callback: Optional[Callable[[], None]] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.message = message
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class NetworkSimulator:
+    """Deterministic discrete-event simulator delivering messages and timers."""
+
+    def __init__(
+        self,
+        delay_model: Optional[DelayModel] = None,
+        config: Optional[SimulationConfig] = None,
+    ):
+        self.delay_model = delay_model or ConstantDelay(0.01)
+        self.config = config or SimulationConfig()
+        self.rng = random.Random(self.config.seed)
+        self._queue: List[_Event] = []
+        self._sequence = itertools.count()
+        self._processes: Dict[ReplicaId, Process] = {}
+        self._timers: Dict[int, _Event] = {}
+        self._disconnected: Set[ReplicaId] = set()
+        self._now: float = 0.0
+        self._started = False
+        # Observability counters.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.events_processed = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def add_process(self, process: Process) -> None:
+        """Register a process; its ``on_start`` runs when the simulation starts."""
+        if process.replica_id in self._processes:
+            raise SimulationError(
+                f"replica {process.replica_id} already registered"
+            )
+        process.bind(self)
+        self._processes[process.replica_id] = process
+        if self._started:
+            process.on_start()
+
+    def remove_process(self, replica_id: ReplicaId) -> None:
+        """Remove a process; queued messages to it will be dropped on delivery."""
+        self._processes.pop(replica_id, None)
+
+    def replica_ids(self) -> List[ReplicaId]:
+        """Sorted list of currently registered replica ids."""
+        return sorted(self._processes)
+
+    def process_for(self, replica_id: ReplicaId) -> Process:
+        """Return the process registered for ``replica_id``."""
+        try:
+            return self._processes[replica_id]
+        except KeyError:
+            raise SimulationError(f"no process registered for {replica_id}") from None
+
+    def disconnect(self, replica_id: ReplicaId) -> None:
+        """Drop all future messages to and from ``replica_id`` (crash/benign mute)."""
+        self._disconnected.add(replica_id)
+
+    def reconnect(self, replica_id: ReplicaId) -> None:
+        """Lift a previous :meth:`disconnect`."""
+        self._disconnected.discard(replica_id)
+
+    # -- event submission ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def submit(self, message: Message) -> None:
+        """Queue ``message`` for delivery after a sampled delay."""
+        self.messages_sent += 1
+        if (
+            message.sender in self._disconnected
+            or message.recipient in self._disconnected
+        ):
+            self.messages_dropped += 1
+            return
+        delay = self.delay_model.sample(message.sender, message.recipient, self.rng)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} sampled")
+        event = _Event(
+            time=self._now + delay,
+            seq=next(self._sequence),
+            kind=_Event.DELIVERY,
+            message=message,
+        )
+        heapq.heappush(self._queue, event)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], owner: Optional[ReplicaId] = None
+    ) -> int:
+        """Schedule ``callback`` after ``delay`` seconds; returns a timer id."""
+        if delay < 0:
+            raise SimulationError("timer delay must be non-negative")
+        event = _Event(
+            time=self._now + delay,
+            seq=next(self._sequence),
+            kind=_Event.TIMER,
+            callback=callback,
+        )
+        heapq.heappush(self._queue, event)
+        self._timers[event.seq] = event
+        return event.seq
+
+    def cancel(self, timer_id: int) -> None:
+        """Cancel a pending timer; firing or fired timers are ignored."""
+        event = self._timers.get(timer_id)
+        if event is not None:
+            event.cancelled = True
+
+    # -- execution -----------------------------------------------------------
+
+    def _start_processes(self) -> None:
+        if not self._started:
+            self._started = True
+            for replica_id in sorted(self._processes):
+                self._processes[replica_id].on_start()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> "SimulationResult":
+        """Process events until the queue drains, a deadline, or a predicate.
+
+        Args:
+            until: absolute simulated time at which to stop (defaults to the
+                configured ``max_time``).
+            stop_when: optional predicate evaluated after every event; the run
+                stops as soon as it returns True.
+            max_events: optional cap on the number of events processed in this
+                call (defaults to the configured ``max_events``).
+        """
+        self._start_processes()
+        deadline = self.config.max_time if until is None else until
+        budget = self.config.max_events if max_events is None else max_events
+        processed = 0
+        while self._queue and processed < budget:
+            event = self._queue[0]
+            if event.time > deadline:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time)
+            processed += 1
+            self.events_processed += 1
+            if event.kind == _Event.TIMER:
+                self._timers.pop(event.seq, None)
+                assert event.callback is not None
+                event.callback()
+            else:
+                assert event.message is not None
+                self._deliver(event.message)
+            if stop_when is not None and stop_when():
+                break
+        else:
+            if self._queue and processed >= budget:
+                return SimulationResult(
+                    time=self._now, events=processed, exhausted_budget=True
+                )
+        return SimulationResult(time=self._now, events=processed, exhausted_budget=False)
+
+    def _deliver(self, message: Message) -> None:
+        if message.recipient in self._disconnected:
+            self.messages_dropped += 1
+            return
+        process = self._processes.get(message.recipient)
+        if process is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        process.on_message(message)
+
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class SimulationResult:
+    """Summary returned by :meth:`NetworkSimulator.run`."""
+
+    def __init__(self, time: float, events: int, exhausted_budget: bool):
+        self.time = time
+        self.events = events
+        self.exhausted_budget = exhausted_budget
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(time={self.time:.3f}s, events={self.events}, "
+            f"exhausted_budget={self.exhausted_budget})"
+        )

@@ -1,0 +1,5 @@
+"""Reliable broadcast primitives (Bracha's protocol with signed, accountable echoes)."""
+
+from repro.rbc.bracha import ReliableBroadcast
+
+__all__ = ["ReliableBroadcast"]

@@ -1,0 +1,544 @@
+"""ASMR — the Accountable State Machine Replication at the heart of ZLB.
+
+Each replica runs the five phases of Figure 2 for every consensus index:
+
+① **ASMR consensus** — one accountable SBC instance decides a set of proposals.
+② **Confirmation** — the replica broadcasts its decision (digest, content and
+   certificates) and waits for matching confirmations; a conflicting
+   confirmation reveals a disagreement.
+③ **Exclusion consensus** — once ``ceil(n/3)`` proofs of fraud are gathered
+   the replica stops its pending consensus and runs the exclusion consensus of
+   the membership change (Alg. 1).
+④ **Inclusion consensus** — new candidates from the pool replace the excluded
+   replicas.
+⑤ **Reconciliation** — the decisions of the conflicting branches are merged
+   (the Blockchain Manager turns this into a block merge, Alg. 2).
+
+The replica is application-agnostic: the payment system plugs in through the
+``proposal_factory`` (what to propose), ``proposal_validator`` (is a proposal
+acceptable) and the ``on_commit`` / ``on_merge`` / ``on_exclude`` callbacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.config import ProtocolConfig
+from repro.common.types import FaultKind, ReplicaId, recovery_threshold
+from repro.consensus.certificates import Certificate, certificate_from_payload
+from repro.consensus.proofs import (
+    ProofOfFraud,
+    extract_pofs_from_votes,
+    merge_pofs,
+)
+from repro.consensus.sbc import SBCDecision, SetByzantineConsensus
+from repro.crypto.hashing import hash_payload
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signer
+from repro.network.message import Message
+from repro.smr.membership import MembershipChange, MembershipOutcome
+from repro.smr.pool import CandidatePool
+from repro.smr.replica import BaseReplica
+
+_SBC_PREFIX = re.compile(r"^sbc\.e(\d+):(\d+):")
+
+#: Default assumed deceitful ratio used to size the confirmation quorum
+#: (the paper requires messages from more than (delta + 1/3) * n replicas).
+DEFAULT_CONFIRMATION_DELTA = 5.0 / 9.0
+
+
+@dataclasses.dataclass
+class InstanceRecord:
+    """Book-keeping for one consensus index at one replica."""
+
+    instance: int
+    epoch: int
+    committee: Tuple[ReplicaId, ...]
+    started_at: float
+    decision: Optional[SBCDecision] = None
+    decided_at: Optional[float] = None
+    confirmed_at: Optional[float] = None
+    aborted: bool = False
+    # Digests decided by other replicas that conflict with ours.
+    conflicting_digests: Set[str] = dataclasses.field(default_factory=set)
+    # Slots on which some remote decision disagreed with ours.
+    disagreeing_slots: Set[ReplicaId] = dataclasses.field(default_factory=set)
+    matching_confirmations: Set[ReplicaId] = dataclasses.field(default_factory=set)
+
+    @property
+    def disagreed(self) -> bool:
+        """True when at least one conflicting decision was observed."""
+        return bool(self.conflicting_digests)
+
+
+class ASMRReplica(BaseReplica):
+    """A replica running accountable SMR with membership changes."""
+
+    CONFIRM_PROTOCOL = "asmr:confirm"
+    POFS_PROTOCOL = "asmr:pofs"
+    CATCHUP_PROTOCOL = "asmr:catchup"
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        committee: Sequence[ReplicaId],
+        signer: Signer,
+        registry: KeyRegistry,
+        pool: Optional[CandidatePool] = None,
+        config: Optional[ProtocolConfig] = None,
+        fault: FaultKind = FaultKind.HONEST,
+        proposal_factory: Optional[Callable[[int], Any]] = None,
+        proposal_validator: Optional[Callable[[ReplicaId, Any], bool]] = None,
+        on_commit: Optional[Callable[[int, SBCDecision], None]] = None,
+        on_merge: Optional[Callable[[int, Dict[ReplicaId, Any]], None]] = None,
+        on_exclude: Optional[Callable[[List[ReplicaId]], None]] = None,
+        standby: bool = False,
+    ):
+        super().__init__(replica_id, committee, signer, registry, fault=fault)
+        self.config = config or ProtocolConfig()
+        self.pool = pool or CandidatePool([])
+        self.proposal_factory = proposal_factory or (
+            lambda instance: {"instance": instance, "proposer": replica_id, "txs": []}
+        )
+        self.proposal_validator = proposal_validator
+        self.on_commit = on_commit
+        self.on_merge = on_merge
+        self.on_exclude = on_exclude
+        #: A standby replica belongs to the candidate pool: it stays passive
+        #: until an inclusion consensus adds it to the committee.
+        self.standby = standby
+
+        self.epoch = 0
+        self.target_instances = 0
+        self.next_instance = 0
+        self.instances: Dict[int, InstanceRecord] = {}
+        self._sbc: Dict[int, SetByzantineConsensus] = {}
+        self.pofs: Dict[ReplicaId, ProofOfFraud] = {}
+        self.detected_at: Optional[float] = None
+        self.membership_change: Optional[MembershipChange] = None
+        self.membership_outcomes: List[MembershipOutcome] = []
+        self.excluded_replicas: Set[ReplicaId] = set()
+        self.catchup_completed_at: Optional[float] = None
+        self.catchup_blocks_verified = 0
+        self._pending_confirms: Dict[int, List[Tuple[ReplicaId, Dict[str, Any]]]] = {}
+        self._buffered_membership: List[Tuple[str, ReplicaId, str, Dict[str, Any]]] = []
+
+    # -- driving the replica -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        if not self.standby and self.target_instances > 0:
+            self._maybe_start_next_instance()
+
+    def submit_instances(self, count: int) -> None:
+        """Ask the replica to run ``count`` more consensus instances."""
+        self.target_instances += count
+        if self._simulator is not None and not self.standby:
+            self._maybe_start_next_instance()
+
+    def _maybe_start_next_instance(self) -> None:
+        if self.standby or self.fault is FaultKind.BENIGN:
+            return
+        if self.membership_change is not None and self.membership_change.outcome is None:
+            return
+        if self.next_instance >= self.target_instances:
+            return
+        previous = self.instances.get(self.next_instance - 1)
+        if self.next_instance > 0 and previous is not None:
+            if previous.decision is None and not previous.aborted:
+                return
+        instance = self.next_instance
+        self.next_instance += 1
+        self._start_instance(instance)
+
+    def _start_instance(self, instance: int) -> None:
+        record = InstanceRecord(
+            instance=instance,
+            epoch=self.epoch,
+            committee=tuple(self.committee()),
+            started_at=self.now,
+        )
+        self.instances[instance] = record
+        component = SetByzantineConsensus(
+            host=self,
+            instance=instance,
+            on_decide=self._on_sbc_decided,
+            proposal_validator=self.proposal_validator,
+            protocol_prefix=self._sbc_prefix(),
+        )
+        self._sbc[instance] = component
+        self.register_component(component)
+        component.propose(self.proposal_factory(instance))
+
+    def _sbc_prefix(self, epoch: Optional[int] = None) -> str:
+        return f"sbc.e{self.epoch if epoch is None else epoch}"
+
+    # -- ① consensus ---------------------------------------------------------------------
+
+    def _on_sbc_decided(self, decision: SBCDecision) -> None:
+        record = self.instances.get(decision.instance)
+        if record is None or record.decision is not None or record.aborted:
+            return
+        record.decision = decision
+        record.decided_at = self.now
+        if self.on_commit is not None:
+            self.on_commit(decision.instance, decision)
+        if self.config.confirmation_enabled:
+            self._broadcast_confirmation(decision)
+        self._process_pending_confirms(decision.instance)
+        self._maybe_start_next_instance()
+
+    # -- ② confirmation --------------------------------------------------------------------
+
+    def confirmation_quorum(self) -> int:
+        """Messages required to confirm: more than (delta + 1/3) * n, capped at n."""
+        n = self.committee_size()
+        needed = int((DEFAULT_CONFIRMATION_DELTA + 1.0 / 3.0) * n) + 1
+        return min(n, needed)
+
+    def _broadcast_confirmation(self, decision: SBCDecision) -> None:
+        body = {
+            "instance": decision.instance,
+            "digest": decision.digest,
+            "bitmask": dict(decision.bitmask),
+            "proposals": dict(decision.proposals),
+            "binary_certificates": {
+                slot: cert.to_payload()
+                for slot, cert in decision.binary_certificates.items()
+            },
+            "rbc_certificates": {
+                slot: cert.to_payload()
+                for slot, cert in decision.rbc_certificates.items()
+            },
+        }
+        self.emit(f"{self.CONFIRM_PROTOCOL}:{decision.instance}", "CONFIRM", body)
+
+    def _handle_confirm(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
+        instance = int(body.get("instance", -1))
+        record = self.instances.get(instance)
+        if record is None or record.decision is None:
+            self._pending_confirms.setdefault(instance, []).append((sender, body))
+            return
+        local = record.decision
+        remote_digest = body.get("digest")
+        if remote_digest == local.digest:
+            record.matching_confirmations.add(sender)
+            if (
+                record.confirmed_at is None
+                and len(record.matching_confirmations) + 1 >= self.confirmation_quorum()
+            ):
+                record.confirmed_at = self.now
+            return
+        # Disagreement: another honest replica decided a different set.
+        record.conflicting_digests.add(str(remote_digest))
+        self._record_disagreeing_slots(record, body)
+        self._reconcile(record, body)
+        self._extract_pofs_from_confirm(record, body)
+
+    def _process_pending_confirms(self, instance: int) -> None:
+        for sender, body in self._pending_confirms.pop(instance, []):
+            self._handle_confirm(sender, body)
+
+    def _record_disagreeing_slots(self, record: InstanceRecord, body: Dict[str, Any]) -> None:
+        local = record.decision
+        assert local is not None
+        remote_bitmask = body.get("bitmask", {})
+        remote_proposals = body.get("proposals", {})
+        slots = set(local.bitmask) | set(remote_bitmask)
+        for slot in slots:
+            local_bit = local.bitmask.get(slot, 0)
+            remote_bit = remote_bitmask.get(slot, 0)
+            if local_bit != remote_bit:
+                record.disagreeing_slots.add(slot)
+                continue
+            if local_bit == 1 and remote_bit == 1:
+                local_digest = hash_payload(local.proposals.get(slot))
+                remote_digest = hash_payload(remote_proposals.get(slot))
+                if local_digest != remote_digest:
+                    record.disagreeing_slots.add(slot)
+
+    # -- ⑤ reconciliation -------------------------------------------------------------------
+
+    def _reconcile(self, record: InstanceRecord, body: Dict[str, Any]) -> None:
+        remote_proposals = body.get("proposals", {})
+        if not isinstance(remote_proposals, dict) or not remote_proposals:
+            return
+        if self.on_merge is not None:
+            self.on_merge(record.instance, remote_proposals)
+
+    # -- accountability: PoF extraction and gossip ----------------------------------------------
+
+    def _extract_pofs_from_confirm(self, record: InstanceRecord, body: Dict[str, Any]) -> None:
+        local = record.decision
+        assert local is not None
+        votes = list(local.justification_votes)
+        for payload in list(body.get("binary_certificates", {}).values()) + list(
+            body.get("rbc_certificates", {}).values()
+        ):
+            try:
+                certificate = certificate_from_payload(payload)
+            except (KeyError, TypeError, ValueError):
+                continue
+            votes.extend(certificate.votes)
+        new_pofs = extract_pofs_from_votes(votes)
+        added = merge_pofs(self.pofs, new_pofs, verifier=self)
+        if added:
+            self._broadcast_pofs(added)
+        self._after_pof_update()
+
+    def _broadcast_pofs(self, pofs: Iterable[ProofOfFraud]) -> None:
+        body = {"pofs": [pof.to_payload() for pof in pofs]}
+        self.emit(self.POFS_PROTOCOL, "POFS", body)
+
+    def _handle_pofs(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
+        payloads = body.get("pofs", [])
+        received: List[ProofOfFraud] = []
+        for payload in payloads:
+            try:
+                received.append(ProofOfFraud.from_payload(payload))
+            except (KeyError, TypeError, ValueError):
+                continue
+        added = merge_pofs(self.pofs, received, verifier=self)
+        if added:
+            # Re-broadcast newly learnt PoFs (Alg. 1 line 26).
+            self._broadcast_pofs(added)
+        self._after_pof_update()
+
+    def pof_threshold(self) -> int:
+        """Number of distinct culprits required to start a membership change."""
+        if self.config.pof_threshold is not None:
+            return self.config.pof_threshold
+        return recovery_threshold(self.committee_size())
+
+    def _after_pof_update(self) -> None:
+        if self.pofs and self.detected_at is None:
+            if len(self.pofs) >= self.pof_threshold():
+                self.detected_at = self.now
+        self._maybe_start_membership_change()
+
+    # -- ③/④ membership change --------------------------------------------------------------------
+
+    def _maybe_start_membership_change(self) -> None:
+        if self.membership_change is not None:
+            return
+        if len(self.pofs) < self.pof_threshold():
+            return
+        # Stop the pending ASMR consensus (Alg. 1 line 19).
+        for record in self.instances.values():
+            if record.decision is None:
+                record.aborted = True
+        relevant_pofs = {
+            culprit: pof
+            for culprit, pof in self.pofs.items()
+            if culprit in set(self.committee())
+        }
+        self.membership_change = MembershipChange(
+            host=self,
+            epoch=self.epoch,
+            committee=self.committee(),
+            pofs=relevant_pofs,
+            pool=self.pool,
+            on_complete=self._on_membership_complete,
+        )
+        self.register_component(self.membership_change)
+        self.membership_change.start()
+        self._replay_buffered_membership()
+
+    def _replay_buffered_membership(self) -> None:
+        buffered, self._buffered_membership = self._buffered_membership, []
+        for protocol, sender, kind, body in buffered:
+            if self.membership_change is not None and self.membership_change.owns_protocol(
+                protocol
+            ):
+                self.membership_change.handle(protocol, sender, kind, body)
+            else:
+                self._buffered_membership.append((protocol, sender, kind, body))
+
+    def _on_membership_complete(self, outcome: MembershipOutcome) -> None:
+        self.membership_outcomes.append(outcome)
+        self.excluded_replicas.update(outcome.excluded)
+        new_committee = [
+            replica for replica in self.committee() if replica not in outcome.excluded
+        ]
+        new_committee.extend(outcome.included)
+        self.update_committee(new_committee)
+        if self.on_exclude is not None and outcome.excluded:
+            self.on_exclude(list(outcome.excluded))
+        # Send the chain state to the replicas that just joined (Fig. 5 right).
+        for replica in outcome.included:
+            self._send_catchup(replica)
+        # Clear the treated PoFs (Alg. 1 line 39) and prepare the next epoch.
+        for culprit in outcome.excluded:
+            self.pofs.pop(culprit, None)
+        if self.membership_change is not None:
+            self.unregister_component(self.membership_change)
+        self.membership_change = None
+        self.epoch += 1
+        # Restart the aborted consensus instances with the new committee
+        # (Alg. 1 line 49 / Fig. 2 "goto ①").
+        aborted = sorted(
+            instance
+            for instance, record in self.instances.items()
+            if record.aborted and record.decision is None
+        )
+        for instance in aborted:
+            old_component = self._sbc.pop(instance, None)
+            if old_component is not None:
+                self.unregister_component(old_component)
+            del self.instances[instance]
+        if aborted:
+            self.next_instance = min(self.next_instance, aborted[0])
+        self._maybe_start_next_instance()
+
+    # -- catch-up of newly included replicas ------------------------------------------------------------
+
+    def _send_catchup(self, replica: ReplicaId) -> None:
+        blocks = []
+        for instance in sorted(self.instances):
+            record = self.instances[instance]
+            if record.decision is None:
+                continue
+            blocks.append(
+                {
+                    "instance": instance,
+                    "digest": record.decision.digest,
+                    "bitmask": dict(record.decision.bitmask),
+                    "proposals": dict(record.decision.proposals),
+                    "binary_certificates": {
+                        slot: cert.to_payload()
+                        for slot, cert in record.decision.binary_certificates.items()
+                    },
+                    "committee": list(record.committee),
+                }
+            )
+        self.emit_to(
+            replica,
+            self.CATCHUP_PROTOCOL,
+            "CATCHUP",
+            {
+                "blocks": blocks,
+                # The new replica adopts the post-change view so it can take
+                # part in the restarted instances right away.
+                "epoch": self.epoch + 1,
+                "committee": [
+                    r for r in self.committee() if r not in self.excluded_replicas
+                ],
+                "target_instances": self.target_instances,
+                "next_instance": max(
+                    (i + 1 for i in self.decided_instances()), default=0
+                ),
+            },
+        )
+
+    def _handle_catchup(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
+        if self.catchup_completed_at is not None:
+            return
+        blocks = body.get("blocks", [])
+        verified = 0
+        for block in blocks:
+            committee = block.get("committee", list(self.committee()))
+            for payload in block.get("binary_certificates", {}).values():
+                try:
+                    certificate = certificate_from_payload(payload)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if not certificate.is_valid(self, committee):
+                    break
+            else:
+                verified += 1
+        self.catchup_blocks_verified = verified
+        self.catchup_completed_at = self.now
+        if not self.standby:
+            return
+        # Join the committee: adopt the sender's post-membership-change view.
+        self.standby = False
+        new_committee = body.get("committee")
+        if new_committee and self.replica_id in new_committee:
+            self.update_committee(new_committee)
+        self.epoch = max(self.epoch, int(body.get("epoch", self.epoch)))
+        self.target_instances = max(
+            self.target_instances, int(body.get("target_instances", 0))
+        )
+        self.next_instance = max(
+            self.next_instance, int(body.get("next_instance", 0))
+        )
+        self._maybe_start_next_instance()
+
+    # -- message routing ---------------------------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if self.fault is FaultKind.BENIGN:
+            return
+        if self.attack_strategy is not None and not self.attack_strategy.filter_incoming(
+            self, message
+        ):
+            return
+        protocol = message.protocol
+        if protocol.startswith(self.CONFIRM_PROTOCOL):
+            self._handle_confirm(message.sender, message.body)
+            return
+        if protocol == self.POFS_PROTOCOL:
+            self._handle_pofs(message.sender, message.body)
+            return
+        if protocol == self.CATCHUP_PROTOCOL:
+            self._handle_catchup(message.sender, message.body)
+            return
+        if protocol.startswith(("excl:", "incl:")):
+            if self.membership_change is not None and self.membership_change.owns_protocol(
+                protocol
+            ):
+                self.membership_change.handle(
+                    protocol, message.sender, message.kind, message.body
+                )
+            else:
+                self._buffered_membership.append(
+                    (protocol, message.sender, message.kind, message.body)
+                )
+            return
+        super().on_message(message)
+
+    def on_unrouted(self, message: Message) -> None:
+        """Create consensus instances lazily when another replica started first."""
+        if self.standby or self.fault is FaultKind.BENIGN:
+            return
+        match = _SBC_PREFIX.match(message.protocol)
+        if match is None:
+            return
+        epoch, instance = int(match.group(1)), int(match.group(2))
+        if epoch != self.epoch:
+            return
+        if instance in self.instances or instance >= self.target_instances + 1:
+            # Never seen and beyond anything we expect to run: ignore.
+            if instance in self.instances:
+                return
+        if instance not in self.instances and instance <= self.target_instances:
+            # Catch up with the instance another replica already started.
+            while self.next_instance <= instance:
+                to_start = self.next_instance
+                self.next_instance += 1
+                self._start_instance(to_start)
+            self.route(message.protocol, message.sender, message.kind, message.body)
+
+    # -- metrics ---------------------------------------------------------------------------------------------------
+
+    def decided_instances(self) -> List[int]:
+        """Indices of instances with a local decision, in order."""
+        return sorted(
+            instance
+            for instance, record in self.instances.items()
+            if record.decision is not None
+        )
+
+    def total_disagreeing_slots(self) -> int:
+        """Total number of (instance, slot) pairs on which this replica observed
+        a decision conflicting with its own — the paper's "disagreements"."""
+        return sum(len(record.disagreeing_slots) for record in self.instances.values())
+
+    def disagreement_instances(self) -> List[int]:
+        """Instances on which a disagreement was observed."""
+        return sorted(
+            instance
+            for instance, record in self.instances.items()
+            if record.disagreed
+        )

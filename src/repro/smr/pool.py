@@ -1,0 +1,60 @@
+"""The pool of candidate replicas available for inclusion.
+
+§3.2: "there exists a large pool of m nodes among which at least 2n/3 are
+honest nodes ... from which honest replicas will propose to add new nodes."
+Every replica holds the same view of the pool (candidate ids in the same
+order), which keeps the inclusion proposals of honest replicas consistent and
+the deterministic ``choose`` function meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ReplicaId
+
+
+class CandidatePool:
+    """An ordered pool of candidate replica ids, consumed as replicas join."""
+
+    def __init__(self, candidates: Sequence[ReplicaId]):
+        self._candidates: List[ReplicaId] = list(dict.fromkeys(candidates))
+        self._used: set = set()
+
+    def __len__(self) -> int:
+        return len(self.available())
+
+    def available(self) -> List[ReplicaId]:
+        """Candidates not yet included, in pool order."""
+        return [c for c in self._candidates if c not in self._used]
+
+    def take(self, count: int) -> List[ReplicaId]:
+        """Return (without consuming) the next ``count`` available candidates.
+
+        Mirrors ``pool.take(|cons-exclude|)`` in Alg. 1 line 41: the candidates
+        are only *proposed*; they are consumed when the inclusion consensus
+        decides (:meth:`mark_included`).
+        """
+        if count < 0:
+            raise ConfigurationError("cannot take a negative number of candidates")
+        return self.available()[:count]
+
+    def mark_included(self, replicas: Iterable[ReplicaId]) -> None:
+        """Consume candidates that the inclusion consensus decided to add."""
+        for replica in replicas:
+            self._used.add(replica)
+
+    def contains(self, replica: ReplicaId) -> bool:
+        """True when ``replica`` is an available candidate."""
+        return replica in self._candidates and replica not in self._used
+
+    @staticmethod
+    def disjoint_from_committee(
+        committee_size: int, pool_size: int
+    ) -> "CandidatePool":
+        """Create a pool of ``pool_size`` fresh ids after the initial committee."""
+        if pool_size < 0:
+            raise ConfigurationError("pool size cannot be negative")
+        start = committee_size
+        return CandidatePool(list(range(start, start + pool_size)))

@@ -1,0 +1,153 @@
+"""The base replica: a simulated process hosting protocol components.
+
+A :class:`BaseReplica` is both a :class:`~repro.network.simulator.Process`
+(it receives messages from the simulator) and a
+:class:`~repro.consensus.host.ProtocolHost` (components use it for identity,
+signing, verification and emission).  Incoming messages are routed to the
+component that owns the message's protocol name.
+
+The emission path carries the hook where deceitful behaviour plugs in: when an
+:class:`~repro.adversary.behaviors.AttackStrategy` is installed, outgoing
+broadcasts pass through it and may be rewritten per partition (equivocation).
+Honest replicas have no strategy and broadcast uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+
+from repro.common.types import FaultKind, ReplicaId
+from repro.consensus.host import ProtocolHost
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SignedPayload, Signer
+from repro.network.message import Message
+from repro.network.simulator import Process
+
+
+class ProtocolComponent(Protocol):
+    """Anything that can own protocol names and handle their messages."""
+
+    def owns_protocol(self, protocol: str) -> bool:
+        ...
+
+    def handle(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        ...
+
+
+class BaseReplica(Process, ProtocolHost):
+    """A replica process that dispatches messages to protocol components."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        committee: Sequence[ReplicaId],
+        signer: Signer,
+        registry: KeyRegistry,
+        fault: FaultKind = FaultKind.HONEST,
+    ):
+        Process.__init__(self, replica_id)
+        self._committee: List[ReplicaId] = sorted(committee)
+        self._signer = signer
+        self._registry = registry
+        self.fault = fault
+        self.attack_strategy: Optional[Any] = None
+        self._components: List[ProtocolComponent] = []
+        # Count of messages this replica chose to ignore (unknown protocol).
+        self.unrouted_messages = 0
+
+    # -- ProtocolHost: identity and committee ------------------------------------
+
+    @property
+    def replica_id(self) -> ReplicaId:  # type: ignore[override]
+        return self._replica_id
+
+    @replica_id.setter
+    def replica_id(self, value: ReplicaId) -> None:
+        self._replica_id = value
+
+    def committee(self) -> Sequence[ReplicaId]:
+        return list(self._committee)
+
+    def committee_size(self) -> int:
+        return len(self._committee)
+
+    def update_committee(self, committee: Iterable[ReplicaId]) -> None:
+        """Replace this replica's committee view (membership changes)."""
+        self._committee = sorted(committee)
+
+    # -- ProtocolHost: crypto ------------------------------------------------------
+
+    def sign(self, payload: Any) -> SignedPayload:
+        return self._signer.sign(payload)
+
+    def verify(self, payload: Any, signed: SignedPayload) -> bool:
+        return self._registry.verify(payload, signed)
+
+    @property
+    def registry(self) -> KeyRegistry:
+        """The PKI shared by the deployment."""
+        return self._registry
+
+    # -- ProtocolHost: time ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        return self.set_timer(delay, callback)
+
+    # -- ProtocolHost: emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        protocol: str,
+        kind: str,
+        body: Dict[str, Any],
+        recipients: Optional[Iterable[ReplicaId]] = None,
+    ) -> None:
+        targets = list(recipients) if recipients is not None else list(self._committee)
+        if self.attack_strategy is not None:
+            handled = self.attack_strategy.rewrite_broadcast(
+                replica=self, protocol=protocol, kind=kind, body=body, recipients=targets
+            )
+            if handled:
+                return
+        self.broadcast(protocol, kind, body, recipients=targets)
+
+    def emit_to(self, recipient: ReplicaId, protocol: str, kind: str, body: Dict[str, Any]) -> None:
+        self.send_to(recipient, protocol, kind, body)
+
+    def component_decided(self, protocol: str, decision: Any) -> None:
+        """Components deliver decisions through dedicated callbacks instead."""
+
+    # -- component routing ------------------------------------------------------------------
+
+    def register_component(self, component: ProtocolComponent) -> None:
+        """Add a component to the routing table (checked in registration order)."""
+        self._components.append(component)
+
+    def unregister_component(self, component: ProtocolComponent) -> None:
+        """Remove a component from the routing table."""
+        if component in self._components:
+            self._components.remove(component)
+
+    def route(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> bool:
+        """Route a message to the owning component; returns False when unowned."""
+        for component in self._components:
+            if component.owns_protocol(protocol):
+                component.handle(protocol, sender, kind, body)
+                return True
+        return False
+
+    def on_message(self, message: Message) -> None:
+        if self.fault is FaultKind.BENIGN:
+            # Benign replicas commit omission-style faults: they stay mute and
+            # ignore the protocol entirely (§3.2 "benign fault").
+            return
+        if self.attack_strategy is not None and not self.attack_strategy.filter_incoming(
+            self, message
+        ):
+            return
+        if not self.route(message.protocol, message.sender, message.kind, message.body):
+            self.unrouted_messages += 1
+            self.on_unrouted(message)
+
+    def on_unrouted(self, message: Message) -> None:
+        """Hook for subclasses that create components lazily (e.g. new instances)."""

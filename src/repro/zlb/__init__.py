@@ -1,0 +1,24 @@
+"""ZLB — the Zero-Loss Blockchain.
+
+This package assembles the paper's system (Fig. 1): the ASMR layer
+(:mod:`repro.smr`), the Blockchain Manager that merges forked branches
+(:mod:`repro.zlb.blockchain_manager`), the zero-loss payment rules
+(:mod:`repro.zlb.payment`) and the :class:`~repro.zlb.system.ZLBSystem`
+orchestrator that deploys a full committee (plus candidate pool and optional
+coalition attack) on the network simulator.
+"""
+
+from repro.zlb.blockchain_manager import BlockchainManager
+from repro.zlb.payment import DepositPolicy, ZeroLossPaymentSystem
+from repro.zlb.node import ZLBReplica
+from repro.zlb.system import AttackSpec, SystemResult, ZLBSystem
+
+__all__ = [
+    "BlockchainManager",
+    "DepositPolicy",
+    "ZeroLossPaymentSystem",
+    "ZLBReplica",
+    "AttackSpec",
+    "SystemResult",
+    "ZLBSystem",
+]

@@ -1,0 +1,146 @@
+"""The Blockchain Manager (BM) — §4.2 of the paper.
+
+The BM sits between the payment application and ASMR:
+
+* it batches client transactions from the mempool into proposals;
+* it turns SBC decisions into blocks appended to the local branch;
+* when the confirmation phase reveals a conflicting decision, it merges the
+  other branch's transactions (Alg. 2) instead of discarding them, funding
+  conflicting inputs from the deposit;
+* when the membership change excludes deceitful replicas, it slashes their
+  deposit accounts (the application punishment of Alg. 1 line 38).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.types import ReplicaId
+from repro.consensus.sbc import SBCDecision
+from repro.ledger.block import Block
+from repro.ledger.mempool import Mempool
+from repro.ledger.merge import BlockchainRecord, MergeOutcome
+from repro.ledger.transaction import Transaction
+
+
+def replica_deposit_account(replica: ReplicaId) -> str:
+    """Deterministic address of the on-chain deposit account of a replica."""
+    return f"deposit-replica-{replica}"
+
+
+class BlockchainManager:
+    """One replica's view of the chain plus its mempool and deposit accounting."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        genesis_allocations: Sequence[Tuple[str, int]] = (),
+        initial_deposit: int = 0,
+        batch_size: int = 10_000,
+    ):
+        self.replica_id = replica_id
+        self.batch_size = batch_size
+        self.record = BlockchainRecord(
+            genesis_allocations=genesis_allocations, initial_deposit=initial_deposit
+        )
+        self.mempool = Mempool()
+        #: Blocks appended from local SBC decisions, indexed by ASMR instance.
+        self.blocks_by_instance: Dict[int, Block] = {}
+        #: Merge outcomes from reconciliations, in arrival order.
+        self.merge_outcomes: List[MergeOutcome] = []
+        self.transactions_committed = 0
+
+    # -- client-facing --------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction) -> bool:
+        """Accept a client transaction into the mempool (§4.2: permissionless)."""
+        if not transaction.is_valid():
+            return False
+        if self.record.contains_tx(transaction.tx_id):
+            return False
+        return self.mempool.add(transaction)
+
+    def submit_transactions(self, transactions: Iterable[Transaction]) -> int:
+        """Submit many transactions; returns the number accepted."""
+        return sum(1 for tx in transactions if self.submit_transaction(tx))
+
+    # -- ASMR hooks --------------------------------------------------------------------
+
+    def next_proposal(self, instance: int) -> List[Transaction]:
+        """Batch of pending transactions to propose for ``instance``."""
+        return self.mempool.peek_batch(self.batch_size)
+
+    def validate_proposal(self, proposer: ReplicaId, payload: Any) -> bool:
+        """SBC proposal validator: proposals must be lists of valid transactions."""
+        if not isinstance(payload, list):
+            return False
+        for item in payload:
+            if not isinstance(item, Transaction):
+                return False
+            if not item.is_valid():
+                return False
+        return True
+
+    def commit_decision(self, instance: int, decision: SBCDecision) -> Block:
+        """Turn an SBC decision into the next block on the local branch."""
+        transactions: List[Transaction] = []
+        seen: set = set()
+        for payload in decision.decided_payloads():
+            for transaction in payload:
+                if isinstance(transaction, Transaction) and transaction.tx_id not in seen:
+                    seen.add(transaction.tx_id)
+                    transactions.append(transaction)
+        block = self.record.append_block(
+            transactions,
+            proposers=tuple(decision.included_slots()),
+            timestamp=decision.decided_at,
+        )
+        self.blocks_by_instance[instance] = block
+        self.mempool.remove_decided(block.tx_ids())
+        self.transactions_committed += len(block.transactions)
+        return block
+
+    def merge_remote_decision(
+        self, instance: int, remote_proposals: Dict[ReplicaId, Any]
+    ) -> MergeOutcome:
+        """Reconciliation: merge a conflicting decision's transactions (Alg. 2)."""
+        transactions: List[Transaction] = []
+        seen: set = set()
+        for payload in remote_proposals.values():
+            if not isinstance(payload, list):
+                continue
+            for transaction in payload:
+                if isinstance(transaction, Transaction) and transaction.tx_id not in seen:
+                    seen.add(transaction.tx_id)
+                    transactions.append(transaction)
+        conflicting_block = Block(
+            index=instance + 1,
+            parent_hash="remote-branch",
+            transactions=tuple(transactions),
+        )
+        outcome = self.record.merge_block(conflicting_block)
+        self.merge_outcomes.append(outcome)
+        self.mempool.remove_decided(conflicting_block.tx_ids())
+        self.transactions_committed += outcome.merged_transactions
+        return outcome
+
+    def punish_replicas(self, replicas: Iterable[ReplicaId]) -> int:
+        """Slash the deposit accounts of excluded replicas; returns amount seized."""
+        total = 0
+        for replica in replicas:
+            total += self.record.punish_account(replica_deposit_account(replica))
+        return total
+
+    # -- observability -------------------------------------------------------------------------
+
+    def chain_height(self) -> int:
+        """Current block height of the local branch."""
+        return self.record.height
+
+    def summary(self) -> Dict[str, int]:
+        """Counts describing the local chain state."""
+        summary = self.record.summary()
+        summary["mempool"] = len(self.mempool)
+        summary["committed_transactions"] = self.transactions_committed
+        summary["merges"] = len(self.merge_outcomes)
+        return summary

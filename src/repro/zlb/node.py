@@ -1,0 +1,81 @@
+"""The ZLB replica: ASMR wired to the Blockchain Manager and payment rules."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import ProtocolConfig
+from repro.common.types import FaultKind, ReplicaId
+from repro.consensus.sbc import SBCDecision
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import Signer
+from repro.ledger.transaction import Transaction
+from repro.smr.asmr import ASMRReplica
+from repro.smr.pool import CandidatePool
+from repro.zlb.blockchain_manager import BlockchainManager
+
+
+class ZLBReplica(ASMRReplica):
+    """One ZLB node (Fig. 1): payment system + Blockchain Manager + ASMR."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        committee: Sequence[ReplicaId],
+        signer: Signer,
+        registry: KeyRegistry,
+        blockchain: BlockchainManager,
+        pool: Optional[CandidatePool] = None,
+        config: Optional[ProtocolConfig] = None,
+        fault: FaultKind = FaultKind.HONEST,
+        standby: bool = False,
+    ):
+        self.blockchain = blockchain
+        super().__init__(
+            replica_id=replica_id,
+            committee=committee,
+            signer=signer,
+            registry=registry,
+            pool=pool,
+            config=config,
+            fault=fault,
+            proposal_factory=self._make_proposal,
+            proposal_validator=self._validate_proposal,
+            on_commit=self._commit,
+            on_merge=self._merge,
+            on_exclude=self._exclude,
+            standby=standby,
+        )
+
+    # -- ASMR hooks ---------------------------------------------------------------
+
+    def _make_proposal(self, instance: int) -> List[Transaction]:
+        return self.blockchain.next_proposal(instance)
+
+    def _validate_proposal(self, proposer: ReplicaId, payload: Any) -> bool:
+        return self.blockchain.validate_proposal(proposer, payload)
+
+    def _commit(self, instance: int, decision: SBCDecision) -> None:
+        self.blockchain.commit_decision(instance, decision)
+
+    def _merge(self, instance: int, remote_proposals: Dict[ReplicaId, Any]) -> None:
+        self.blockchain.merge_remote_decision(instance, remote_proposals)
+
+    def _exclude(self, excluded: List[ReplicaId]) -> None:
+        self.blockchain.punish_replicas(excluded)
+
+    # -- client API ------------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction) -> bool:
+        """Client entry point: enqueue a payment request at this replica."""
+        return self.blockchain.submit_transaction(transaction)
+
+    def submit_transactions(self, transactions) -> int:
+        """Enqueue many payment requests; returns how many were accepted."""
+        return self.blockchain.submit_transactions(transactions)
+
+    # -- observability -------------------------------------------------------------------
+
+    def chain_summary(self) -> Dict[str, int]:
+        """Summary of the local chain (height, transactions, deposit, merges)."""
+        return self.blockchain.summary()

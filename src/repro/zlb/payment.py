@@ -1,0 +1,129 @@
+"""The zero-loss payment rules (Appendix B).
+
+The payment system decides how large the shared deposit must be and how many
+blocks a transaction must be buried under (the *finalization blockdepth* ``m``)
+before it is considered irreversible, so that in expectation the coins seized
+from attackers cover everything the attackers manage to double-spend:
+zero loss for honest participants.
+
+Theorem .5: with an attack success probability ``rho`` per block, a deposit
+``D = b * G`` (a factor ``b`` of the per-block gain bound ``G``) and at most
+``a`` branches, ZLB is zero-loss iff::
+
+    g(a, b, rho, m) = (1 - rho^(m+1)) * b - (a - 1) * rho^(m+1) >= 0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.analysis.zero_loss import (
+    expected_gain,
+    expected_punishment,
+    g_function,
+    minimum_blockdepth,
+    tolerated_attack_probability,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DepositPolicy:
+    """Deposit sizing for the committee (Appendix B, "Deposit refund").
+
+    Attributes:
+        gain_bound: ``G``, the per-block upper bound on the sum of outputs an
+            attacker can double-spend (replicas may discard blocks exceeding it).
+        deposit_factor: ``b`` such that the coalition-level deposit is ``b*G``.
+        finalization_blockdepth: ``m``, blocks to wait before finality and
+            before deposits are returned.
+    """
+
+    gain_bound: int = 1_000_000
+    deposit_factor: float = 0.1
+    finalization_blockdepth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.gain_bound <= 0:
+            raise ConfigurationError("gain_bound must be positive")
+        if self.deposit_factor <= 0:
+            raise ConfigurationError("deposit_factor must be positive")
+        if self.finalization_blockdepth < 0:
+            raise ConfigurationError("finalization_blockdepth cannot be negative")
+
+    @property
+    def coalition_deposit(self) -> int:
+        """``D = b * G``, the deposit each possible coalition must cover."""
+        return int(round(self.deposit_factor * self.gain_bound))
+
+    def per_replica_deposit(self, n: int) -> int:
+        """Each replica deposits ``3 b G / n`` so any ``ceil(n/3)`` coalition holds ``D``."""
+        if n <= 0:
+            raise ConfigurationError("committee size must be positive")
+        return int(round(3 * self.deposit_factor * self.gain_bound / n))
+
+
+class ZeroLossPaymentSystem:
+    """Analytical zero-loss accounting on top of the deposit policy."""
+
+    def __init__(self, policy: DepositPolicy, branches: int = 3):
+        if branches < 1:
+            raise ConfigurationError("branches must be at least 1")
+        self.policy = policy
+        self.branches = branches
+
+    def is_zero_loss(self, attack_success_probability: float) -> bool:
+        """True when the current policy yields zero loss against ``rho``."""
+        return (
+            g_function(
+                a=self.branches,
+                b=self.policy.deposit_factor,
+                rho=attack_success_probability,
+                m=self.policy.finalization_blockdepth,
+            )
+            >= 0
+        )
+
+    def expected_flux(self, attack_success_probability: float) -> float:
+        """Expected deposit flux Δ = punishment − gain per attack attempt (coins)."""
+        rho = attack_success_probability
+        gain = expected_gain(
+            a=self.branches,
+            gain=self.policy.gain_bound,
+            rho=rho,
+            m=self.policy.finalization_blockdepth,
+        )
+        punishment = expected_punishment(
+            deposit=self.policy.coalition_deposit,
+            rho=rho,
+            m=self.policy.finalization_blockdepth,
+        )
+        return punishment - gain
+
+    def required_blockdepth(self, attack_success_probability: float) -> int:
+        """Smallest ``m`` that yields zero loss for ``rho`` under this policy."""
+        return minimum_blockdepth(
+            a=self.branches,
+            b=self.policy.deposit_factor,
+            rho=attack_success_probability,
+        )
+
+    def tolerated_probability(self) -> float:
+        """Largest ``rho`` the configured blockdepth tolerates with zero loss."""
+        return tolerated_attack_probability(
+            a=self.branches,
+            b=self.policy.deposit_factor,
+            m=self.policy.finalization_blockdepth,
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Summary of the policy parameters and derived quantities."""
+        return {
+            "gain_bound": float(self.policy.gain_bound),
+            "deposit_factor": float(self.policy.deposit_factor),
+            "coalition_deposit": float(self.policy.coalition_deposit),
+            "finalization_blockdepth": float(self.policy.finalization_blockdepth),
+            "branches": float(self.branches),
+            "tolerated_probability": self.tolerated_probability(),
+        }

@@ -1,0 +1,423 @@
+"""The ZLB system orchestrator: a full deployment on the network simulator.
+
+:class:`ZLBSystem` assembles everything the paper's experiments need: a
+committee of :class:`~repro.zlb.node.ZLBReplica` processes (honest, deceitful
+and benign according to a :class:`~repro.common.config.FaultConfig`), a pool of
+standby candidates for inclusion, a client workload, a deposit policy and —
+optionally — one of the two coalition attacks together with the partition
+delays that §5.2–§5.3 inject between honest partitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.adversary.attacks import BinaryConsensusAttack, ReliableBroadcastAttack
+from repro.adversary.coalition import CoalitionPlan
+from repro.common.config import FaultConfig, ProtocolConfig, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import FaultKind, ReplicaId
+from repro.crypto.keys import KeyRegistry
+from repro.ledger.transaction import Transaction, build_transfer
+from repro.ledger.utxo import UTXOTable
+from repro.ledger.wallet import Wallet
+from repro.ledger.workload import TransferWorkload
+from repro.ledger.block import make_genesis_block
+from repro.analysis.metrics import RunMetrics
+from repro.network.delays import DelayModel, PartitionedDelay, delay_model_from_name
+from repro.network.simulator import NetworkSimulator
+from repro.smr.pool import CandidatePool
+from repro.zlb.blockchain_manager import BlockchainManager, replica_deposit_account
+from repro.zlb.node import ZLBReplica
+from repro.zlb.payment import DepositPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackSpec:
+    """Configuration of a coalition attack for one run.
+
+    Attributes:
+        kind: ``"binary"`` (binary consensus attack) or ``"rbbcast"``
+            (reliable broadcast attack).
+        cross_partition_delay: delay model (or name, e.g. ``"1000ms"``) applied
+            to links between honest partitions while the attack runs.
+        branches: number of honest partitions to create; defaults to the
+            Appendix B bound for the fault configuration.
+        double_spend_amount: value of the conflicting transactions the
+            coalition injects in the reliable broadcast attack.
+    """
+
+    kind: str = "binary"
+    cross_partition_delay: Union[str, DelayModel] = "1000ms"
+    branches: Optional[int] = None
+    double_spend_amount: int = 1_000
+
+    def resolve_cross_delay(self) -> DelayModel:
+        if isinstance(self.cross_partition_delay, DelayModel):
+            return self.cross_partition_delay
+        return delay_model_from_name(self.cross_partition_delay)
+
+
+@dataclasses.dataclass
+class SystemResult:
+    """Aggregated outcome of one ZLB run (per-replica detail plus summaries)."""
+
+    n: int
+    fault_config: FaultConfig
+    simulated_time: float
+    messages_sent: int
+    messages_delivered: int
+    per_replica: Dict[ReplicaId, Dict[str, Any]]
+    disagreeing_pairs: set
+    disagreement_instances: set
+    detect_time: Optional[float]
+    exclusion_time: Optional[float]
+    inclusion_time: Optional[float]
+    excluded: List[ReplicaId]
+    included: List[ReplicaId]
+    final_committee: List[ReplicaId]
+    committed_transactions: int
+    deposit_shortfall: int
+
+    @property
+    def disagreements(self) -> int:
+        """Number of disagreeing proposals (distinct (instance, slot) pairs)."""
+        return len(self.disagreeing_pairs)
+
+    @property
+    def recovered(self) -> bool:
+        """True when a membership change completed and excluded ≥ n/3 replicas."""
+        return bool(self.excluded)
+
+    @property
+    def throughput_tx_per_sec(self) -> float:
+        """Committed transactions per simulated second (honest replica view)."""
+        if self.simulated_time <= 0:
+            return 0.0
+        return self.committed_transactions / self.simulated_time
+
+    def to_metrics(self) -> RunMetrics:
+        """Convert into the flat :class:`RunMetrics` record used by harnesses."""
+        return RunMetrics(
+            n=self.n,
+            deceitful=self.fault_config.deceitful,
+            benign=self.fault_config.benign,
+            simulated_time=self.simulated_time,
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            decided_instances=max(
+                (len(d["decided_instances"]) for d in self.per_replica.values()),
+                default=0,
+            ),
+            committed_transactions=self.committed_transactions,
+            disagreements=self.disagreements,
+            disagreement_instances=len(self.disagreement_instances),
+            detect_time=self.detect_time,
+            exclusion_time=self.exclusion_time,
+            inclusion_time=self.inclusion_time,
+            excluded_replicas=len(self.excluded),
+            included_replicas=len(self.included),
+            deposit_shortfall=self.deposit_shortfall,
+        )
+
+    def chain_summary(self) -> Dict[str, Any]:
+        """Chain summary of the lowest-id honest replica."""
+        for replica_id in sorted(self.per_replica):
+            detail = self.per_replica[replica_id]
+            if detail["fault"] == FaultKind.HONEST.value:
+                return detail["chain"]
+        return {}
+
+
+class ZLBSystem:
+    """A deployed ZLB committee (plus candidate pool) on the simulator."""
+
+    def __init__(
+        self,
+        fault_config: FaultConfig,
+        simulator: NetworkSimulator,
+        replicas: Dict[ReplicaId, ZLBReplica],
+        plan: CoalitionPlan,
+        workload: TransferWorkload,
+        deposit_policy: DepositPolicy,
+        protocol_config: ProtocolConfig,
+    ):
+        self.fault_config = fault_config
+        self.simulator = simulator
+        self.replicas = replicas
+        self.plan = plan
+        self.workload = workload
+        self.deposit_policy = deposit_policy
+        self.protocol_config = protocol_config
+        self.instances_requested = 0
+
+    # -- construction ----------------------------------------------------------------
+
+    @staticmethod
+    def create(
+        fault_config: FaultConfig,
+        seed: int = 0,
+        delay: Union[str, DelayModel] = "aws",
+        protocol_config: Optional[ProtocolConfig] = None,
+        deposit_policy: Optional[DepositPolicy] = None,
+        attack: Optional[AttackSpec] = None,
+        pool_size: Optional[int] = None,
+        workload_accounts: int = 16,
+        workload_transactions: int = 200,
+        batch_size: Optional[int] = None,
+        max_time: float = 3_600.0,
+    ) -> "ZLBSystem":
+        """Build a complete deployment; see the class docstring for the pieces."""
+        n = fault_config.n
+        protocol_config = protocol_config or ProtocolConfig(
+            batch_size=batch_size or 50
+        )
+        deposit_policy = deposit_policy or DepositPolicy(
+            gain_bound=100_000, deposit_factor=1.0, finalization_blockdepth=5
+        )
+        pool_size = n if pool_size is None else pool_size
+        plan = CoalitionPlan.from_fault_config(
+            fault_config, branches=attack.branches if attack else None
+        )
+
+        # Delay model: base everywhere, slowed links between honest partitions
+        # while an attack is running.
+        base_delay = (
+            delay if isinstance(delay, DelayModel) else delay_model_from_name(delay)
+        )
+        if attack is not None:
+            delay_model: DelayModel = PartitionedDelay(
+                base=base_delay,
+                cross_partition=attack.resolve_cross_delay(),
+                partition=plan.partition,
+            )
+        else:
+            delay_model = base_delay
+
+        simulator = NetworkSimulator(
+            delay_model=delay_model,
+            config=SimulationConfig(seed=seed, max_time=max_time),
+        )
+
+        committee = list(range(n))
+        pool_ids = list(range(n, n + pool_size))
+        keys = KeyRegistry.provision(committee + pool_ids)
+
+        # Client workload and genesis allocations.
+        workload = TransferWorkload(
+            num_accounts=workload_accounts, seed=seed, initial_balance=1_000_000
+        )
+        allocations: List[Tuple[str, int]] = list(workload.genesis_allocations)
+        per_replica_deposit = deposit_policy.per_replica_deposit(n)
+        for replica_id in committee + pool_ids:
+            allocations.append(
+                (replica_deposit_account(replica_id), per_replica_deposit)
+            )
+
+        # The reliable broadcast attack needs funded attacker accounts whose
+        # UTXOs the coalition double-spends towards different partitions.
+        attack_variants: Dict[ReplicaId, List[Any]] = {}
+        if attack is not None and attack.kind.startswith("r"):
+            attack_variants, attacker_allocations = _build_double_spend_variants(
+                plan, amount=attack.double_spend_amount, seed=seed
+            )
+            allocations.extend(attacker_allocations)
+
+        # Shared attack strategy object for the whole coalition.
+        strategy = None
+        if attack is not None:
+            if attack.kind.startswith("r"):
+                strategy = ReliableBroadcastAttack(plan, attack_variants)
+            else:
+                strategy = BinaryConsensusAttack(plan)
+
+        replicas: Dict[ReplicaId, ZLBReplica] = {}
+        for replica_id in committee + pool_ids:
+            fault = (
+                plan.fault_of(replica_id)
+                if replica_id in set(committee)
+                else FaultKind.HONEST
+            )
+            blockchain = BlockchainManager(
+                replica_id=replica_id,
+                genesis_allocations=allocations,
+                initial_deposit=deposit_policy.coalition_deposit,
+                batch_size=protocol_config.batch_size,
+            )
+            replica = ZLBReplica(
+                replica_id=replica_id,
+                committee=committee,
+                signer=keys.signer_for(replica_id),
+                registry=keys.registry,
+                blockchain=blockchain,
+                pool=CandidatePool(pool_ids),
+                config=protocol_config,
+                fault=fault,
+                standby=replica_id not in set(committee),
+            )
+            if fault is FaultKind.DECEITFUL and strategy is not None:
+                replica.attack_strategy = strategy
+            simulator.add_process(replica)
+            replicas[replica_id] = replica
+
+        system = ZLBSystem(
+            fault_config=fault_config,
+            simulator=simulator,
+            replicas=replicas,
+            plan=plan,
+            workload=workload,
+            deposit_policy=deposit_policy,
+            protocol_config=protocol_config,
+        )
+        if workload_transactions > 0:
+            system.submit_workload(workload_transactions)
+        return system
+
+    # -- workload -------------------------------------------------------------------------
+
+    def submit_workload(self, num_transactions: int) -> int:
+        """Generate client transfers and spread them across committee mempools."""
+        committee = sorted(
+            replica_id
+            for replica_id, replica in self.replicas.items()
+            if not replica.standby
+        )
+        transactions = self.workload.batch(num_transactions)
+        for index, transaction in enumerate(transactions):
+            target = committee[index % len(committee)]
+            self.replicas[target].submit_transaction(transaction)
+        return len(transactions)
+
+    # -- execution ----------------------------------------------------------------------------
+
+    def run_instances(
+        self, count: int = 1, until: Optional[float] = None
+    ) -> SystemResult:
+        """Ask every active committee member to run ``count`` more instances."""
+        self.instances_requested += count
+        for replica in self.replicas.values():
+            if not replica.standby and replica.fault is not FaultKind.BENIGN:
+                replica.submit_instances(count)
+        self.simulator.run(until=until)
+        return self.result()
+
+    def run(self, until: Optional[float] = None) -> SystemResult:
+        """Drain pending events without requesting new instances."""
+        self.simulator.run(until=until)
+        return self.result()
+
+    # -- results -----------------------------------------------------------------------------------
+
+    def honest_replicas(self) -> List[ZLBReplica]:
+        """Committee members that are honest and active."""
+        return [
+            replica
+            for replica in self.replicas.values()
+            if not replica.standby and replica.fault is FaultKind.HONEST
+        ]
+
+    def result(self) -> SystemResult:
+        """Aggregate the current state of every replica into a SystemResult."""
+        per_replica: Dict[ReplicaId, Dict[str, Any]] = {}
+        disagreeing_pairs = set()
+        disagreement_instances = set()
+        detect_times: List[float] = []
+        exclusion_times: List[float] = []
+        inclusion_times: List[float] = []
+        excluded: List[ReplicaId] = []
+        included: List[ReplicaId] = []
+        committed = 0
+        shortfall = 0
+        final_committee: List[ReplicaId] = []
+
+        for replica_id, replica in sorted(self.replicas.items()):
+            if replica.standby:
+                continue
+            detail = {
+                "fault": replica.fault.value,
+                "decided_instances": replica.decided_instances(),
+                "disagreement_instances": replica.disagreement_instances(),
+                "disagreeing_slots": replica.total_disagreeing_slots(),
+                "detected_at": replica.detected_at,
+                "membership_outcomes": replica.membership_outcomes,
+                "chain": replica.chain_summary(),
+                "committee": list(replica.committee()),
+            }
+            per_replica[replica_id] = detail
+            if replica.fault is not FaultKind.HONEST:
+                continue
+            for instance, record in replica.instances.items():
+                for slot in record.disagreeing_slots:
+                    disagreeing_pairs.add((instance, slot))
+                if record.disagreed:
+                    disagreement_instances.add(instance)
+            if replica.detected_at is not None:
+                detect_times.append(replica.detected_at)
+            for outcome in replica.membership_outcomes:
+                exclusion_times.append(outcome.exclusion_duration)
+                inclusion_times.append(outcome.inclusion_duration)
+                excluded = sorted(set(excluded) | set(outcome.excluded))
+                included = sorted(set(included) | set(outcome.included))
+            committed = max(committed, replica.blockchain.transactions_committed)
+            shortfall = max(shortfall, replica.blockchain.record.deposit_shortfall())
+            if not final_committee:
+                final_committee = list(replica.committee())
+
+        return SystemResult(
+            n=self.fault_config.n,
+            fault_config=self.fault_config,
+            simulated_time=self.simulator.now,
+            messages_sent=self.simulator.messages_sent,
+            messages_delivered=self.simulator.messages_delivered,
+            per_replica=per_replica,
+            disagreeing_pairs=disagreeing_pairs,
+            disagreement_instances=disagreement_instances,
+            detect_time=min(detect_times) if detect_times else None,
+            exclusion_time=(
+                sum(exclusion_times) / len(exclusion_times) if exclusion_times else None
+            ),
+            inclusion_time=(
+                sum(inclusion_times) / len(inclusion_times) if inclusion_times else None
+            ),
+            excluded=excluded,
+            included=included,
+            final_committee=final_committee,
+            committed_transactions=committed,
+            deposit_shortfall=shortfall,
+        )
+
+
+def _build_double_spend_variants(
+    plan: CoalitionPlan, amount: int, seed: int
+) -> Tuple[Dict[ReplicaId, List[Any]], List[Tuple[str, int]]]:
+    """Conflicting proposal variants for the reliable broadcast attack.
+
+    For every deceitful slot the coalition owns a funded attacker wallet and
+    prepares one transaction per partition, all spending the same UTXO towards
+    different recipients — the canonical double spend of Fig. 1.
+    """
+    branches = max(1, plan.num_branches)
+    variants: Dict[ReplicaId, List[Any]] = {}
+    allocations: List[Tuple[str, int]] = []
+    for slot in sorted(plan.deceitful):
+        attacker = Wallet(name=f"attacker-{seed}-{slot}")
+        allocations.append((attacker.address, amount))
+        _, genesis_utxos = make_genesis_block([(attacker.address, amount)])
+        view = UTXOTable(genesis_utxos)
+        inputs = view.select_inputs(attacker.address, amount)
+        slot_variants: List[List[Transaction]] = []
+        for branch in range(branches):
+            recipient = Wallet(name=f"fence-{seed}-{slot}-{branch}")
+            slot_variants.append(
+                [
+                    build_transfer(
+                        wallet=attacker,
+                        inputs=inputs,
+                        recipients=[(recipient.address, amount)],
+                        nonce=branch,
+                    )
+                ]
+            )
+        variants[slot] = slot_variants
+    return variants, allocations

@@ -1,0 +1,129 @@
+"""Unit tests for coalition plans and attack strategies."""
+
+import pytest
+
+from repro.adversary.attacks import (
+    BinaryConsensusAttack,
+    ReliableBroadcastAttack,
+    attack_from_name,
+)
+from repro.adversary.behaviors import PassiveStrategy
+from repro.adversary.coalition import CoalitionPlan
+from repro.common.config import FaultConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import FaultKind
+
+
+@pytest.fixture
+def plan():
+    return CoalitionPlan.from_fault_config(FaultConfig.paper_attack(9))
+
+
+class TestCoalitionPlan:
+    def test_paper_attack_layout(self, plan):
+        assert plan.deceitful == frozenset(range(4))
+        assert plan.honest == frozenset(range(4, 9))
+        assert plan.num_branches >= 2
+        assert plan.fault_of(0) is FaultKind.DECEITFUL
+        assert plan.fault_of(8) is FaultKind.HONEST
+
+    def test_deceitful_bridge_partitions(self, plan):
+        for replica in plan.deceitful:
+            assert plan.partition.partition_of(replica) is None
+
+    def test_benign_replicas_marked(self):
+        plan = CoalitionPlan.from_fault_config(FaultConfig(n=9, deceitful=4, benign=1))
+        assert plan.fault_of(4) is FaultKind.BENIGN
+
+    def test_explicit_branch_count(self):
+        plan = CoalitionPlan.from_fault_config(FaultConfig.paper_attack(9), branches=2)
+        assert plan.num_branches == 2
+
+
+class TestBinaryConsensusAttack:
+    def test_values_differ_across_partitions(self, plan):
+        attack = BinaryConsensusAttack(plan)
+        slot = next(iter(plan.deceitful))
+        values = {p: attack.value_for(slot, p) for p in range(plan.num_branches)}
+        assert len(set(values.values())) > 1
+
+    def test_non_attacked_protocols_untouched(self, plan):
+        attack = BinaryConsensusAttack(plan)
+        handled = attack.rewrite_broadcast(
+            replica=None,
+            protocol="sbc.e0:0:rbc:1",
+            kind="ECHO",
+            body={},
+            recipients=list(range(9)),
+        )
+        assert not handled
+
+    def test_honest_slot_not_attacked(self, plan):
+        attack = BinaryConsensusAttack(plan)
+        handled = attack.rewrite_broadcast(
+            replica=None,
+            protocol="sbc.e0:0:bin:8",
+            kind="AUX",
+            body={"round": 0, "value": 1},
+            recipients=list(range(9)),
+        )
+        assert not handled
+
+    def test_requires_attacked_slots(self):
+        honest_plan = CoalitionPlan.from_fault_config(FaultConfig(n=4))
+        with pytest.raises(ConfigurationError):
+            BinaryConsensusAttack(honest_plan)
+
+    def test_filter_drops_decide_on_attacked_slot(self, plan):
+        from repro.network.message import Message
+
+        attack = BinaryConsensusAttack(plan)
+        decide = Message(sender=5, recipient=0, protocol="sbc.e0:0:bin:1", kind="DECIDE")
+        aux = Message(sender=5, recipient=0, protocol="sbc.e0:0:bin:1", kind="AUX")
+        assert not attack.filter_incoming(None, decide)
+        assert attack.filter_incoming(None, aux)
+
+
+class TestReliableBroadcastAttack:
+    def test_variant_selection(self, plan):
+        attack = ReliableBroadcastAttack(plan, {0: ["variant-a", "variant-b"]})
+        assert attack.variant_for(0, 0) == "variant-a"
+        assert attack.variant_for(0, 1) == "variant-b"
+        assert attack.variant_for(0, 2) == "variant-a"  # wraps around
+
+    def test_requires_variants(self, plan):
+        with pytest.raises(ConfigurationError):
+            ReliableBroadcastAttack(plan, {})
+
+    def test_untouched_when_slot_not_attacked(self, plan):
+        attack = ReliableBroadcastAttack(plan, {0: ["a", "b"]})
+        handled = attack.rewrite_broadcast(
+            replica=None,
+            protocol="sbc.e0:0:rbc:7",
+            kind="ECHO",
+            body={},
+            recipients=list(range(9)),
+        )
+        assert not handled
+
+
+class TestAttackFactory:
+    def test_names(self, plan):
+        assert isinstance(attack_from_name("binary", plan), BinaryConsensusAttack)
+        assert isinstance(
+            attack_from_name("rbbcast", plan, variants={0: ["a", "b"]}),
+            ReliableBroadcastAttack,
+        )
+
+    def test_rbbcast_requires_variants(self, plan):
+        with pytest.raises(ConfigurationError):
+            attack_from_name("rbbcast", plan)
+
+    def test_unknown_name(self, plan):
+        with pytest.raises(ConfigurationError):
+            attack_from_name("eclipse", plan)
+
+    def test_passive_strategy_never_interferes(self):
+        strategy = PassiveStrategy()
+        assert not strategy.rewrite_broadcast(None, "p", "K", {}, [])
+        assert strategy.filter_incoming(None, None)

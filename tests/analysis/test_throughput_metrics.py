@@ -1,0 +1,76 @@
+"""Unit tests for the throughput model and metrics helpers."""
+
+import pytest
+
+from repro.analysis.metrics import RunMetrics, format_table, summarize_latencies
+from repro.analysis.throughput import (
+    ProtocolCostModel,
+    ThroughputModel,
+    available_protocols,
+    protocol_model,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestProtocolCostModel:
+    def test_lookup_aliases(self):
+        assert protocol_model("ZLB").name == "ZLB"
+        assert protocol_model("red belly").name == "Red Belly"
+        assert protocol_model("Libra").name == "HotStuff"
+        with pytest.raises(ConfigurationError):
+            protocol_model("bitcoin")
+
+    def test_sbc_throughput_grows_with_n(self):
+        model = ThroughputModel()
+        assert model.throughput("ZLB", 90) > model.throughput("ZLB", 10)
+        assert model.throughput("Red Belly", 90) > model.throughput("Red Belly", 10)
+
+    def test_hotstuff_throughput_flat_or_declining(self):
+        model = ThroughputModel()
+        assert model.throughput("HotStuff", 90) <= model.throughput("HotStuff", 10)
+
+    def test_figure3_ordering_at_90(self):
+        model = ThroughputModel()
+        series = {p: model.throughput(p, 90) for p in available_protocols()}
+        assert series["Red Belly"] > series["ZLB"] > series["Polygraph"] > series["HotStuff"]
+        assert 4.0 <= series["ZLB"] / series["HotStuff"] <= 8.0
+
+    def test_polygraph_crossover(self):
+        model = ThroughputModel()
+        assert model.throughput("Polygraph", 10) > model.throughput("ZLB", 10)
+        assert model.throughput("Polygraph", 90) < model.throughput("ZLB", 90)
+
+    def test_invalid_committee_size(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolCostModel(name="x", decides_all_proposals=True).instance_latency(
+                0, 0.01
+            )
+
+    def test_figure3_series_shape(self):
+        rows = ThroughputModel().figure3([10, 50, 90])
+        assert set(rows) == set(available_protocols())
+        assert all(len(v) == 3 for v in rows.values())
+
+
+class TestMetrics:
+    def test_summarize_latencies(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0])
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["count"] == 3
+        assert summary["ci95"] > 0
+
+    def test_summarize_empty_and_single(self):
+        assert summarize_latencies([])["count"] == 0
+        single = summarize_latencies([5.0])
+        assert single["std"] == 0.0 and single["ci95"] == 0.0
+
+    def test_run_metrics_throughput(self):
+        metrics = RunMetrics(n=4, simulated_time=2.0, committed_transactions=100)
+        assert metrics.throughput_tx_per_sec == 50.0
+        assert RunMetrics(n=4).throughput_tx_per_sec == 0.0
+        assert metrics.to_row()["n"] == 4
+
+    def test_format_table(self):
+        table = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        assert "a" in table and "22" in table
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,85 @@
+"""Tests for the HotStuff, Red Belly and Polygraph baselines."""
+
+import pytest
+
+from repro.baselines.hotstuff import HotStuffCluster
+from repro.baselines.polygraph_chain import PolygraphCluster
+from repro.baselines.redbelly import RedBellyCluster
+from repro.common.config import FaultConfig
+from repro.network.delays import UniformDelay
+
+
+class TestHotStuff:
+    def test_commits_are_prefix_consistent(self):
+        cluster = HotStuffCluster(4, seed=1)
+        cluster.submit_payloads([{"batch": i} for i in range(8)])
+        cluster.run_views(8)
+        committed = cluster.committed_views()
+        reference = committed[0]
+        assert reference, "at least one view must commit"
+        for other in committed[1:]:
+            shared = min(len(reference), len(other))
+            assert reference[:shared] == other[:shared]
+
+    def test_three_chain_rule_lags_by_two_views(self):
+        cluster = HotStuffCluster(4, seed=2)
+        cluster.submit_payloads([{"batch": i} for i in range(6)])
+        cluster.run_views(6)
+        committed = cluster.committed_views()[0]
+        # With 6 views at most 4 can head a completed three-chain.
+        assert len(committed) <= 4
+        assert committed == sorted(committed)
+
+    def test_one_proposal_per_view(self):
+        cluster = HotStuffCluster(4, seed=3)
+        cluster.submit_payloads([{"batch": i} for i in range(4)])
+        cluster.run_views(4)
+        replica = cluster.replicas[0]
+        assert all(view in replica.blocks for view in replica.committed_views)
+
+    def test_leader_rotation(self):
+        cluster = HotStuffCluster(4, seed=4)
+        replica = cluster.replicas[0]
+        assert [replica.leader_of(v) for v in range(4)] == [0, 1, 2, 3]
+        assert replica.leader_of(4) == 0
+
+
+class TestRedBelly:
+    def test_chains_agree(self):
+        cluster = RedBellyCluster(4, seed=1, workload_transactions=40, batch_size=10)
+        cluster.run_instances(2)
+        assert len(set(cluster.chain_heights())) == 1
+        assert min(cluster.committed_transactions()) > 0
+
+    def test_no_membership_change_machinery(self):
+        cluster = RedBellyCluster(4, seed=2, workload_transactions=20, batch_size=10)
+        cluster.run_instances(1)
+        assert all(r.membership_outcomes == [] for r in cluster.replicas)
+
+
+class TestPolygraphChain:
+    def test_detects_but_does_not_recover(self):
+        cluster = PolygraphCluster(
+            FaultConfig.paper_attack(9),
+            seed=2,
+            cross_partition_delay=UniformDelay.from_mean(1.0),
+            workload_transactions=40,
+            batch_size=10,
+        )
+        cluster.run_instances(1, until=120)
+        # Accountability detects the coalition...
+        assert cluster.detection_times(), "expected at least one detection"
+        # ...but there is no membership change, so the committee never shrinks
+        # and the forked branches are never merged.
+        for replica in cluster.honest_replicas():
+            assert replica.membership_outcomes == []
+            assert len(replica.committee()) == 9
+
+    def test_fault_free_operation(self):
+        cluster = PolygraphCluster(
+            FaultConfig(n=4), seed=1, workload_transactions=20, batch_size=10
+        )
+        cluster.run_instances(1)
+        assert all(
+            r.decided_instances() == [0] for r in cluster.honest_replicas()
+        )

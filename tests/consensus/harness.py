@@ -1,0 +1,57 @@
+"""Shared test harness: small clusters of component-hosting replicas."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.config import SimulationConfig
+from repro.common.types import FaultKind
+from repro.crypto.keys import KeyRegistry
+from repro.network.delays import ConstantDelay, DelayModel
+from repro.network.simulator import NetworkSimulator
+from repro.smr.replica import BaseReplica
+
+
+class SingleContextAdapter:
+    """Adapts an RBC or binary consensus component to the routing interface."""
+
+    def __init__(self, component, context: str):
+        self.component = component
+        self.context = context
+
+    def owns_protocol(self, protocol: str) -> bool:
+        return protocol == self.context
+
+    def handle(self, protocol: str, sender, kind: str, body: Dict[str, Any]) -> None:
+        self.component.handle(sender, kind, body)
+
+
+def build_cluster(
+    n: int,
+    delay: Optional[DelayModel] = None,
+    seed: int = 0,
+    faults: Optional[Dict[int, FaultKind]] = None,
+):
+    """Create ``n`` BaseReplica processes attached to one simulator.
+
+    Returns ``(simulator, replicas, keys)``.
+    """
+    keys = KeyRegistry.provision(range(n))
+    simulator = NetworkSimulator(
+        delay_model=delay or ConstantDelay(0.01),
+        config=SimulationConfig(seed=seed),
+    )
+    replicas: List[BaseReplica] = []
+    committee = list(range(n))
+    for replica_id in range(n):
+        fault = (faults or {}).get(replica_id, FaultKind.HONEST)
+        replica = BaseReplica(
+            replica_id=replica_id,
+            committee=committee,
+            signer=keys.signer_for(replica_id),
+            registry=keys.registry,
+            fault=fault,
+        )
+        simulator.add_process(replica)
+        replicas.append(replica)
+    return simulator, replicas, keys

@@ -1,0 +1,133 @@
+"""Tests for the accountable binary Byzantine consensus."""
+
+import pytest
+
+from repro.common.types import FaultKind
+from repro.consensus.binary import BinaryConsensus, value_digest
+from repro.network.delays import UniformDelay
+
+from tests.consensus.harness import SingleContextAdapter, build_cluster
+
+
+def _attach_binary(replicas, context, decisions):
+    components = []
+    for replica in replicas:
+        component = BinaryConsensus(
+            host=replica,
+            context=context,
+            on_decide=lambda ctx, value, cert, rid=replica.replica_id: decisions.setdefault(
+                rid, (value, cert)
+            ),
+        )
+        replica.register_component(SingleContextAdapter(component, context))
+        components.append(component)
+    return components
+
+
+def _run_binary(n, inputs, delay=None, seed=0, faults=None):
+    simulator, replicas, _ = build_cluster(n, delay=delay, seed=seed, faults=faults)
+    decisions = {}
+    components = _attach_binary(replicas, "bin:0:0", decisions)
+    for replica_id, value in inputs.items():
+        components[replica_id].propose(value)
+    simulator.run()
+    return decisions, components, replicas
+
+
+class TestBinaryConsensusAgreement:
+    def test_unanimous_zero_decides_zero(self):
+        decisions, _, _ = _run_binary(4, {i: 0 for i in range(4)})
+        assert {v for v, _ in decisions.values()} == {0}
+        assert len(decisions) == 4
+
+    def test_unanimous_one_decides_one(self):
+        decisions, _, _ = _run_binary(4, {i: 1 for i in range(4)})
+        assert {v for v, _ in decisions.values()} == {1}
+        assert len(decisions) == 4
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mixed_inputs_agree(self, seed):
+        inputs = {0: 0, 1: 1, 2: 1, 3: 0, 4: 1, 5: 0, 6: 1}
+        decisions, _, _ = _run_binary(
+            7, inputs, delay=UniformDelay.from_mean(0.05), seed=seed
+        )
+        assert len(decisions) == 7
+        assert len({v for v, _ in decisions.values()}) == 1
+
+    def test_validity_unanimous_input_is_decided(self):
+        # With all-honest unanimous inputs the decided value is that input.
+        for value in (0, 1):
+            decisions, _, _ = _run_binary(4, {i: value for i in range(4)})
+            assert {v for v, _ in decisions.values()} == {value}
+
+    def test_agreement_with_benign_minority(self):
+        inputs = {0: 1, 1: 1, 2: 1, 3: 1}
+        decisions, _, _ = _run_binary(4, inputs, faults={3: FaultKind.BENIGN})
+        decided = {rid: v for rid, (v, _) in decisions.items() if rid != 3}
+        assert len(decided) == 3
+        assert set(decided.values()) == {1}
+
+    def test_larger_committee(self):
+        inputs = {i: i % 2 for i in range(10)}
+        decisions, _, _ = _run_binary(10, inputs, delay=UniformDelay.from_mean(0.02))
+        assert len(decisions) == 10
+        assert len({v for v, _ in decisions.values()}) == 1
+
+
+class TestBinaryConsensusCertificates:
+    def test_decision_certificate_verifies(self):
+        decisions, _, replicas = _run_binary(7, {i: 1 for i in range(7)})
+        value, certificate = decisions[0]
+        assert certificate.value_digest == value_digest(value)
+        certificate.verify(replicas[0], committee=range(7))
+
+    def test_decide_broadcast_lets_laggards_decide(self):
+        # A replica that proposed late still decides thanks to DECIDE messages.
+        simulator, replicas, _ = build_cluster(4)
+        decisions = {}
+        components = _attach_binary(replicas, "bin:0:0", decisions)
+        for replica_id in range(3):
+            components[replica_id].propose(1)
+        simulator.run()
+        # Replica 3 never proposed but received BVAL/AUX/DECIDE traffic.
+        assert 3 in decisions
+        assert decisions[3][0] == decisions[0][0]
+
+    def test_collected_votes_include_aux(self):
+        _, components, _ = _run_binary(4, {i: 1 for i in range(4)})
+        assert all(
+            any(v.kind.value == "aux" for v in c.collected_votes) for c in components
+        )
+
+
+class TestBinaryConsensusRobustness:
+    def test_duplicate_propose_is_ignored(self):
+        simulator, replicas, _ = build_cluster(4)
+        decisions = {}
+        components = _attach_binary(replicas, "bin:0:0", decisions)
+        components[0].propose(1)
+        components[0].propose(0)  # second call ignored
+        for replica_id in range(1, 4):
+            components[replica_id].propose(1)
+        simulator.run()
+        assert {v for v, _ in decisions.values()} == {1}
+
+    def test_malformed_aux_ignored(self):
+        simulator, replicas, _ = build_cluster(4)
+        decisions = {}
+        components = _attach_binary(replicas, "bin:0:0", decisions)
+        replicas[0].broadcast("bin:0:0", BinaryConsensus.AUX, {"round": 0, "value": 1})
+        for replica_id in range(4):
+            components[replica_id].propose(1)
+        simulator.run()
+        assert {v for v, _ in decisions.values()} == {1}
+
+    def test_forged_decide_without_certificate_ignored(self):
+        simulator, replicas, _ = build_cluster(4)
+        decisions = {}
+        components = _attach_binary(replicas, "bin:0:0", decisions)
+        replicas[0].broadcast("bin:0:0", BinaryConsensus.DECIDE, {"value": 0})
+        for replica_id in range(4):
+            components[replica_id].propose(1)
+        simulator.run()
+        assert {v for v, _ in decisions.values()} == {1}

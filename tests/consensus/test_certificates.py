@@ -1,0 +1,187 @@
+"""Unit tests for signed votes, certificates and proofs of fraud."""
+
+import pytest
+
+from repro.common.errors import InvalidCertificateError
+from repro.common.types import quorum_size
+from repro.consensus.certificates import (
+    Certificate,
+    SignedVote,
+    VoteKind,
+    certificate_from_payload,
+    make_vote,
+    verify_vote,
+    vote_from_payload,
+)
+from repro.consensus.proofs import (
+    ProofOfFraud,
+    culprits,
+    extract_pofs_from_certificates,
+    extract_pofs_from_votes,
+    merge_pofs,
+)
+from repro.crypto.keys import KeyRegistry
+
+
+class _Host:
+    """Minimal host exposing replica_id / sign / verify for vote helpers."""
+
+    def __init__(self, keys, replica_id):
+        self._keys = keys
+        self.replica_id = replica_id
+
+    def sign(self, payload):
+        return self._keys.signer_for(self.replica_id).sign(payload)
+
+    def verify(self, payload, signed):
+        return self._keys.registry.verify(payload, signed)
+
+
+@pytest.fixture
+def keys():
+    return KeyRegistry.provision(range(7))
+
+
+@pytest.fixture
+def hosts(keys):
+    return [_Host(keys, i) for i in range(7)]
+
+
+def _vote(host, value="v", context="bin:0:1", round_number=0, kind=VoteKind.AUX):
+    return make_vote(host, context, round_number, kind, value)
+
+
+class TestSignedVote:
+    def test_roundtrip_verification(self, hosts):
+        vote = _vote(hosts[0])
+        assert verify_vote(vote, hosts[1])
+
+    def test_mismatched_signer_rejected(self, hosts):
+        vote = _vote(hosts[0])
+        forged = SignedVote(
+            context=vote.context,
+            round=vote.round,
+            kind=vote.kind,
+            value_digest=vote.value_digest,
+            signer=3,
+            signature=vote.signature,
+        )
+        assert not verify_vote(forged, hosts[1])
+
+    def test_payload_roundtrip(self, hosts):
+        vote = _vote(hosts[2])
+        assert vote_from_payload(vote.to_payload()) == vote
+
+    def test_conflicts_with(self, hosts):
+        vote_a = _vote(hosts[0], value="a")
+        vote_b = _vote(hosts[0], value="b")
+        vote_c = _vote(hosts[1], value="b")
+        assert vote_a.conflicts_with(vote_b)
+        assert not vote_a.conflicts_with(vote_a)
+        assert not vote_a.conflicts_with(vote_c)
+        different_round = _vote(hosts[0], value="b", round_number=1)
+        assert not vote_a.conflicts_with(different_round)
+
+
+class TestCertificate:
+    def test_quorum_certificate_verifies(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts[: quorum_size(7)]]
+        certificate = Certificate.from_votes(votes)
+        certificate.verify(hosts[0], committee=range(7))
+
+    def test_insufficient_quorum_rejected(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts[:3]]
+        certificate = Certificate.from_votes(votes)
+        with pytest.raises(InvalidCertificateError):
+            certificate.verify(hosts[0], committee=range(7))
+
+    def test_mixed_values_rejected(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        votes.append(_vote(hosts[5], value="y"))
+        certificate = Certificate(
+            context=votes[0].context,
+            round=0,
+            kind=VoteKind.AUX,
+            value_digest="x",
+            votes=tuple(votes),
+        )
+        with pytest.raises(InvalidCertificateError):
+            certificate.verify(hosts[0], committee=range(7))
+
+    def test_signers_outside_committee_do_not_count(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        certificate = Certificate.from_votes(votes)
+        # Committee restricted to 3 of the signers: quorum of |C'|=4 is 3,
+        # but only signers within the committee count.
+        assert certificate.is_valid(hosts[0], committee=[0, 1, 2, 6])
+        assert not certificate.is_valid(hosts[0], committee=[4, 5, 6])
+
+    def test_duplicate_signers_collapse(self, hosts):
+        votes = [_vote(hosts[0], value="x")] * 5
+        certificate = Certificate.from_votes(votes)
+        assert len(certificate.votes) == 1
+
+    def test_payload_roundtrip(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        certificate = Certificate.from_votes(votes)
+        rebuilt = certificate_from_payload(certificate.to_payload())
+        assert rebuilt.signers() == certificate.signers()
+        rebuilt.verify(hosts[0], committee=range(7))
+
+    def test_conflicting_certificates(self, hosts):
+        cert_x = Certificate.from_votes([_vote(h, value="x") for h in hosts[:5]])
+        cert_y = Certificate.from_votes([_vote(h, value="y") for h in hosts[2:]])
+        assert cert_x.conflicts_with(cert_y)
+        assert not cert_x.conflicts_with(cert_x)
+
+    def test_empty_certificate_rejected(self):
+        with pytest.raises(InvalidCertificateError):
+            Certificate.from_votes([])
+
+
+class TestProofOfFraud:
+    def test_extract_from_conflicting_votes(self, hosts):
+        votes = [_vote(hosts[0], value="x"), _vote(hosts[0], value="y")]
+        votes += [_vote(hosts[1], value="x")]
+        pofs = extract_pofs_from_votes(votes)
+        assert culprits(pofs) == {0}
+        assert pofs[0].verify(hosts[2])
+
+    def test_no_pof_for_consistent_votes(self, hosts):
+        votes = [_vote(host, value="x") for host in hosts]
+        assert extract_pofs_from_votes(votes) == []
+
+    def test_no_pof_across_rounds(self, hosts):
+        votes = [
+            _vote(hosts[0], value="x", round_number=0),
+            _vote(hosts[0], value="y", round_number=1),
+        ]
+        assert extract_pofs_from_votes(votes) == []
+
+    def test_extract_from_conflicting_certificates(self, hosts):
+        # Replicas 2..4 sign both values: they equivocated.
+        cert_x = Certificate.from_votes([_vote(h, value="x") for h in hosts[:5]])
+        cert_y = Certificate.from_votes([_vote(h, value="y") for h in hosts[2:]])
+        pofs = extract_pofs_from_certificates([cert_x, cert_y])
+        assert culprits(pofs) == {2, 3, 4}
+
+    def test_merge_pofs_deduplicates_and_verifies(self, hosts, keys):
+        votes = [_vote(hosts[0], value="x"), _vote(hosts[0], value="y")]
+        pof = extract_pofs_from_votes(votes)[0]
+        existing = {}
+        added = merge_pofs(existing, [pof, pof], verifier=hosts[1])
+        assert len(added) == 1
+        assert merge_pofs(existing, [pof], verifier=hosts[1]) == []
+
+    def test_merge_rejects_malformed(self, hosts):
+        vote_a = _vote(hosts[0], value="x")
+        vote_b = _vote(hosts[1], value="y")
+        bogus = ProofOfFraud(culprit=0, first=vote_a, second=vote_b)
+        assert merge_pofs({}, [bogus], verifier=hosts[2]) == []
+
+    def test_pof_payload_roundtrip(self, hosts):
+        votes = [_vote(hosts[3], value="x"), _vote(hosts[3], value="y")]
+        pof = extract_pofs_from_votes(votes)[0]
+        rebuilt = ProofOfFraud.from_payload(pof.to_payload())
+        assert rebuilt.culprit == 3
+        assert rebuilt.verify(hosts[0])

@@ -1,0 +1,109 @@
+"""Integration-style unit tests for Bracha reliable broadcast over the simulator."""
+
+import pytest
+
+from repro.common.types import FaultKind
+from repro.network.delays import UniformDelay
+from repro.rbc.bracha import ReliableBroadcast
+
+from tests.consensus.harness import SingleContextAdapter, build_cluster
+
+
+def _attach_rbc(replicas, context, proposer, deliveries):
+    components = []
+    for replica in replicas:
+        component = ReliableBroadcast(
+            host=replica,
+            context=context,
+            proposer=proposer,
+            on_deliver=lambda p, value, cert, rid=replica.replica_id: deliveries.setdefault(
+                rid, (p, value, cert)
+            ),
+        )
+        replica.register_component(SingleContextAdapter(component, context))
+        components.append(component)
+    return components
+
+
+class TestReliableBroadcast:
+    def test_all_honest_deliver_proposed_value(self):
+        simulator, replicas, _ = build_cluster(4)
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        components[0].broadcast({"batch": [1, 2, 3]})
+        simulator.run()
+        assert set(deliveries) == {0, 1, 2, 3}
+        assert all(value == {"batch": [1, 2, 3]} for _, value, _ in deliveries.values())
+
+    def test_delivery_certificate_is_quorum_of_ready_votes(self):
+        simulator, replicas, _ = build_cluster(7)
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:2", 2, deliveries)
+        components[2].broadcast("payload")
+        simulator.run()
+        _, _, certificate = deliveries[0]
+        certificate.verify(replicas[0], committee=range(7))
+
+    def test_non_proposer_init_ignored(self):
+        simulator, replicas, _ = build_cluster(4)
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        # Replica 1 is not the proposer of this instance but tries to INIT.
+        components[1].broadcast("forged")
+        simulator.run()
+        assert deliveries == {}
+
+    def test_delivers_with_random_delays(self):
+        simulator, replicas, _ = build_cluster(7, delay=UniformDelay.from_mean(0.1), seed=3)
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:1:3", 3, deliveries)
+        components[3].broadcast(["tx"] * 5)
+        simulator.run()
+        assert len(deliveries) == 7
+
+    def test_delivers_despite_benign_minority(self):
+        # One benign (mute) replica out of 4: quorum 3 is still reachable.
+        simulator, replicas, _ = build_cluster(4, faults={3: FaultKind.BENIGN})
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        components[0].broadcast("value")
+        simulator.run()
+        assert set(deliveries) >= {0, 1, 2}
+
+    def test_no_delivery_without_quorum(self):
+        # With 2 of 4 replicas mute the quorum of 3 READYs is unreachable.
+        simulator, replicas, _ = build_cluster(
+            4, faults={2: FaultKind.BENIGN, 3: FaultKind.BENIGN}
+        )
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        components[0].broadcast("value")
+        simulator.run()
+        assert deliveries == {}
+
+    def test_tampered_vote_ignored(self):
+        simulator, replicas, _ = build_cluster(4)
+        deliveries = {}
+        _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        # A message whose embedded vote does not match its claimed sender.
+        from repro.consensus.certificates import VoteKind, make_vote
+        from repro.crypto.hashing import hash_payload
+
+        digest = hash_payload("evil")
+        vote = make_vote(replicas[1], "rbc:0:0", 0, VoteKind.RBC_INIT, digest)
+        replicas[1].broadcast(
+            "rbc:0:0",
+            ReliableBroadcast.INIT,
+            {"value": "evil", "digest": digest, "vote": vote.to_payload()},
+        )
+        simulator.run()
+        assert deliveries == {}
+
+    def test_collected_votes_accumulate(self):
+        simulator, replicas, _ = build_cluster(4)
+        deliveries = {}
+        components = _attach_rbc(replicas, "rbc:0:0", 0, deliveries)
+        components[0].broadcast("value")
+        simulator.run()
+        # Each replica saw its own INIT/ECHO/READY votes plus everyone else's.
+        assert all(len(c.collected_votes) >= 6 for c in components)

@@ -1,0 +1,129 @@
+"""Tests for Set Byzantine Consensus (the Polygraph-style reduction)."""
+
+import pytest
+
+from repro.common.types import FaultKind
+from repro.consensus.sbc import SetByzantineConsensus
+from repro.network.delays import UniformDelay
+
+from tests.consensus.harness import build_cluster
+
+
+def _attach_sbc(replicas, instance, decisions, validator=None):
+    components = []
+    for replica in replicas:
+        component = SetByzantineConsensus(
+            host=replica,
+            instance=instance,
+            on_decide=lambda decision, rid=replica.replica_id: decisions.setdefault(
+                rid, decision
+            ),
+            proposal_validator=validator,
+        )
+        replica.register_component(component)
+        components.append(component)
+    return components
+
+
+def _run_sbc(n, proposals, delay=None, seed=0, faults=None, validator=None):
+    simulator, replicas, _ = build_cluster(n, delay=delay, seed=seed, faults=faults)
+    decisions = {}
+    components = _attach_sbc(replicas, 0, decisions, validator=validator)
+    for replica_id, payload in proposals.items():
+        components[replica_id].propose(payload)
+    simulator.run()
+    return decisions, components, replicas
+
+
+class TestSBCBasics:
+    def test_all_honest_agree_on_same_set(self):
+        proposals = {i: {"txs": [f"tx-{i}"]} for i in range(4)}
+        decisions, _, _ = _run_sbc(4, proposals)
+        assert len(decisions) == 4
+        digests = {d.digest for d in decisions.values()}
+        assert len(digests) == 1
+
+    def test_decided_set_is_union_subset(self):
+        proposals = {i: [f"tx-{i}"] for i in range(4)}
+        decisions, _, _ = _run_sbc(4, proposals)
+        decision = decisions[0]
+        for slot in decision.included_slots():
+            assert decision.proposals[slot] == proposals[slot]
+
+    def test_nontriviality_all_proposals_included_when_synchronous(self):
+        # With constant small delays and all-honest replicas every proposal is
+        # delivered before the zero phase, so all of them are included.
+        proposals = {i: [f"tx-{i}"] for i in range(4)}
+        decisions, _, _ = _run_sbc(4, proposals)
+        assert set(decisions[0].included_slots()) == {0, 1, 2, 3}
+
+    def test_agreement_under_random_delays(self):
+        proposals = {i: [f"tx-{i}"] for i in range(7)}
+        decisions, _, _ = _run_sbc(
+            7, proposals, delay=UniformDelay.from_mean(0.08), seed=5
+        )
+        assert len(decisions) == 7
+        assert len({d.digest for d in decisions.values()}) == 1
+        # At least n - f proposals make it in.
+        assert len(decisions[0].included_slots()) >= 5
+
+    def test_decision_metadata(self):
+        proposals = {i: [f"tx-{i}"] for i in range(4)}
+        decisions, _, _ = _run_sbc(4, proposals)
+        decision = decisions[2]
+        assert decision.instance == 0
+        assert decision.decided_at > 0
+        assert len(decision.justification_votes) > 0
+        summary = decision.summary_payload()
+        assert summary["digest"] == decision.digest
+
+
+class TestSBCFaultTolerance:
+    def test_tolerates_benign_minority(self):
+        n = 7
+        # Benign replicas are mute from the start: they never propose.
+        proposals = {i: [f"tx-{i}"] for i in range(5)}
+        faults = {5: FaultKind.BENIGN, 6: FaultKind.BENIGN}
+        decisions, _, _ = _run_sbc(n, proposals, faults=faults)
+        honest_decisions = {rid: d for rid, d in decisions.items() if rid < 5}
+        assert len(honest_decisions) == 5
+        assert len({d.digest for d in honest_decisions.values()}) == 1
+        # Proposals from mute replicas are excluded, honest ones included.
+        included = set(honest_decisions[0].included_slots())
+        assert included >= {0, 1, 2, 3}
+        assert 5 not in included and 6 not in included
+
+    def test_silent_proposer_slot_decided_zero(self):
+        n = 4
+        proposals = {i: [f"tx-{i}"] for i in range(3)}  # replica 3 never proposes
+        decisions, _, _ = _run_sbc(n, proposals)
+        assert len(decisions) == 4
+        assert 3 not in decisions[0].included_slots()
+
+    def test_proposal_validator_filters_invalid(self):
+        n = 4
+        proposals = {i: {"valid": i != 1, "txs": [i]} for i in range(4)}
+        decisions, _, _ = _run_sbc(
+            n, proposals, validator=lambda slot, value: value.get("valid", False)
+        )
+        assert len(decisions) == 4
+        assert 1 not in decisions[0].included_slots()
+
+
+class TestSBCDecisionObject:
+    def test_conflicts_with(self):
+        proposals = {i: [f"tx-{i}"] for i in range(4)}
+        decisions_a, _, _ = _run_sbc(4, proposals, seed=1)
+        decisions_b, _, _ = _run_sbc(
+            4, {i: [f"other-{i}"] for i in range(4)}, seed=2
+        )
+        assert not decisions_a[0].conflicts_with(decisions_a[1])
+        assert decisions_a[0].conflicts_with(decisions_b[0])
+
+    def test_binary_certificates_cover_all_slots(self):
+        proposals = {i: [f"tx-{i}"] for i in range(4)}
+        decisions, _, replicas = _run_sbc(4, proposals)
+        decision = decisions[0]
+        assert set(decision.binary_certificates) == {0, 1, 2, 3}
+        for certificate in decision.binary_certificates.values():
+            certificate.verify(replicas[0], committee=range(4))

@@ -1,0 +1,113 @@
+"""Unit tests for the pure-Python secp256k1 ECDSA implementation."""
+
+import pytest
+
+from repro.crypto.ecdsa import (
+    GENERATOR,
+    N,
+    EcdsaSignature,
+    ecdsa_generate_keypair,
+    ecdsa_sign,
+    ecdsa_verify,
+    is_on_curve,
+    point_add,
+    point_multiply,
+)
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert is_on_curve(GENERATOR)
+
+    def test_identity_element(self):
+        assert point_add(None, GENERATOR) == GENERATOR
+        assert point_add(GENERATOR, None) == GENERATOR
+
+    def test_point_plus_negation_is_infinity(self):
+        from repro.crypto.ecdsa import P
+
+        gx, gy = GENERATOR
+        negation = (gx, (-gy) % P)
+        assert point_add(GENERATOR, negation) is None
+
+    def test_scalar_multiples_stay_on_curve(self):
+        for k in (1, 2, 3, 7, 12345):
+            assert is_on_curve(point_multiply(k, GENERATOR))
+
+    def test_group_order(self):
+        assert point_multiply(N, GENERATOR) is None
+
+    def test_distributivity(self):
+        p1 = point_multiply(5, GENERATOR)
+        p2 = point_multiply(7, GENERATOR)
+        assert point_add(p1, p2) == point_multiply(12, GENERATOR)
+
+    def test_doubling_consistency(self):
+        assert point_add(GENERATOR, GENERATOR) == point_multiply(2, GENERATOR)
+
+
+class TestKeyGeneration:
+    def test_deterministic_with_seed(self):
+        assert ecdsa_generate_keypair(seed=7) == ecdsa_generate_keypair(seed=7)
+        assert ecdsa_generate_keypair(seed=7) != ecdsa_generate_keypair(seed=8)
+
+    def test_public_key_on_curve(self):
+        keypair = ecdsa_generate_keypair(seed=1)
+        assert is_on_curve(keypair.public_key)
+
+    def test_public_bytes_format(self):
+        keypair = ecdsa_generate_keypair(seed=1)
+        encoded = keypair.public_bytes()
+        assert len(encoded) == 65
+        assert encoded[0] == 0x04
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        keypair = ecdsa_generate_keypair(seed=2)
+        signature = ecdsa_sign(keypair.private_key, b"transfer $1M from A to B")
+        assert ecdsa_verify(keypair.public_key, b"transfer $1M from A to B", signature)
+
+    def test_wrong_message_fails(self):
+        keypair = ecdsa_generate_keypair(seed=3)
+        signature = ecdsa_sign(keypair.private_key, b"original")
+        assert not ecdsa_verify(keypair.public_key, b"tampered", signature)
+
+    def test_wrong_key_fails(self):
+        keypair = ecdsa_generate_keypair(seed=4)
+        other = ecdsa_generate_keypair(seed=5)
+        signature = ecdsa_sign(keypair.private_key, b"message")
+        assert not ecdsa_verify(other.public_key, b"message", signature)
+
+    def test_signature_is_deterministic(self):
+        keypair = ecdsa_generate_keypair(seed=6)
+        assert ecdsa_sign(keypair.private_key, b"m") == ecdsa_sign(
+            keypair.private_key, b"m"
+        )
+
+    def test_low_s_normalisation(self):
+        keypair = ecdsa_generate_keypair(seed=7)
+        for i in range(5):
+            signature = ecdsa_sign(keypair.private_key, f"msg-{i}".encode())
+            assert signature.s <= N // 2
+
+    def test_out_of_range_signature_rejected(self):
+        keypair = ecdsa_generate_keypair(seed=8)
+        assert not ecdsa_verify(
+            keypair.public_key, b"m", EcdsaSignature(r=0, s=1)
+        )
+        assert not ecdsa_verify(
+            keypair.public_key, b"m", EcdsaSignature(r=1, s=N)
+        )
+
+
+class TestSignatureEncoding:
+    def test_roundtrip(self):
+        keypair = ecdsa_generate_keypair(seed=9)
+        signature = ecdsa_sign(keypair.private_key, b"encode me")
+        decoded = EcdsaSignature.decode(signature.encode())
+        assert decoded == signature
+
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            EcdsaSignature.decode(b"too short")

@@ -1,0 +1,72 @@
+"""Unit tests for canonical hashing."""
+
+import pytest
+
+from repro.crypto.hashing import canonical_bytes, hash_payload, sha256_hex
+
+
+class TestCanonicalBytes:
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_set_order_independent(self):
+        assert canonical_bytes({3, 1, 2}) == canonical_bytes({2, 3, 1})
+
+    def test_list_order_dependent(self):
+        assert canonical_bytes([1, 2]) != canonical_bytes([2, 1])
+
+    def test_type_distinction(self):
+        # 1 (int), 1.0 (float), "1" (str) and True must not collide.
+        encodings = {
+            canonical_bytes(1),
+            canonical_bytes(1.0),
+            canonical_bytes("1"),
+            canonical_bytes(True),
+        }
+        assert len(encodings) == 4
+
+    def test_nested_structures(self):
+        payload = {"txs": [("a", 1), ("b", 2)], "meta": {"round": 3}}
+        assert canonical_bytes(payload) == canonical_bytes(
+            {"meta": {"round": 3}, "txs": [("a", 1), ("b", 2)]}
+        )
+
+    def test_bytes_and_none(self):
+        assert canonical_bytes(None) == b"N;"
+        assert canonical_bytes(b"xyz") != canonical_bytes("xyz")
+
+    def test_string_length_prefix_prevents_ambiguity(self):
+        assert canonical_bytes(["ab", "c"]) != canonical_bytes(["a", "bc"])
+
+    def test_unsupported_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            canonical_bytes(Opaque())
+
+    def test_object_with_to_payload(self):
+        class Wrapped:
+            def to_payload(self):
+                return {"v": 7}
+
+        assert canonical_bytes(Wrapped()) == b"O" + canonical_bytes({"v": 7})
+
+
+class TestHashPayload:
+    def test_deterministic(self):
+        assert hash_payload({"x": [1, 2, 3]}) == hash_payload({"x": [1, 2, 3]})
+
+    def test_distinct_payloads_distinct_hashes(self):
+        assert hash_payload({"x": 1}) != hash_payload({"x": 2})
+
+    def test_is_hex_sha256(self):
+        digest = hash_payload("hello")
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_known_vector(self):
+        assert (
+            sha256_hex(b"abc")
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )

@@ -1,0 +1,54 @@
+"""Unit tests for Merkle trees and audit proofs."""
+
+import pytest
+
+from repro.crypto.merkle import MerkleTree, merkle_root
+
+
+class TestMerkleRoot:
+    def test_deterministic(self):
+        leaves = [f"tx-{i}" for i in range(10)]
+        assert merkle_root(leaves) == merkle_root(leaves)
+
+    def test_order_sensitive(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_empty_tree_has_stable_root(self):
+        assert merkle_root([]) == merkle_root([])
+        assert merkle_root([]) != merkle_root(["a"])
+
+    def test_single_leaf(self):
+        assert len(merkle_root(["only"])) == 64
+
+    def test_matches_tree_class(self):
+        leaves = [{"tx": i} for i in range(7)]
+        assert merkle_root(leaves) == MerkleTree(leaves).root
+
+
+class TestMerkleTree:
+    def test_len(self):
+        assert len(MerkleTree(["a", "b", "c"])) == 3
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_proofs_verify(self, count):
+        leaves = [f"leaf-{i}" for i in range(count)]
+        tree = MerkleTree(leaves)
+        for index in range(count):
+            assert tree.proof(index).verify(tree.root)
+
+    def test_proof_fails_against_other_root(self):
+        tree = MerkleTree(["a", "b", "c", "d"])
+        other = MerkleTree(["a", "b", "c", "e"])
+        proof = tree.proof(0)
+        assert not proof.verify(other.root)
+
+    def test_proof_out_of_range(self):
+        tree = MerkleTree(["a"])
+        with pytest.raises(IndexError):
+            tree.proof(5)
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+
+    def test_empty_tree_proof_raises(self):
+        with pytest.raises(IndexError):
+            MerkleTree([]).proof(0)

@@ -1,0 +1,100 @@
+"""Unit tests for signature schemes and the key registry."""
+
+import pytest
+
+from repro.common.errors import InvalidSignatureError
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import (
+    EcdsaSigner,
+    SignedPayload,
+    SimulatedSigner,
+    payload_digest,
+    scheme_for,
+)
+
+
+class TestSimulatedSigner:
+    def test_sign_and_verify(self):
+        keys = KeyRegistry.provision(range(4))
+        signer = keys.signer_for(1)
+        signed = signer.sign({"vote": 1, "round": 3})
+        assert keys.registry.verify({"vote": 1, "round": 3}, signed)
+
+    def test_tampered_payload_rejected(self):
+        keys = KeyRegistry.provision(range(4))
+        signed = keys.signer_for(0).sign({"vote": 1})
+        assert not keys.registry.verify({"vote": 0}, signed)
+
+    def test_forged_signer_id_rejected(self):
+        keys = KeyRegistry.provision(range(4))
+        signed = keys.signer_for(2).sign({"vote": 1})
+        forged = SignedPayload(
+            signer=3,
+            payload_hash=signed.payload_hash,
+            signature=signed.signature,
+            scheme=signed.scheme,
+        )
+        assert not keys.registry.verify({"vote": 1}, forged)
+
+    def test_different_root_secrets_do_not_cross_verify(self):
+        keys_a = KeyRegistry.provision(range(2), root_secret=b"run-a")
+        keys_b = KeyRegistry.provision(range(2), root_secret=b"run-b")
+        signed = keys_a.signer_for(0).sign("x")
+        assert not keys_b.registry.verify("x", signed)
+
+
+class TestEcdsaSigner:
+    def test_sign_and_verify(self):
+        keys = KeyRegistry.provision(range(3), use_ecdsa=True)
+        signed = keys.signer_for(0).sign({"block": "abc"})
+        assert keys.registry.verify({"block": "abc"}, signed)
+
+    def test_cross_scheme_rejected(self):
+        registry = KeyRegistry()
+        ecdsa_signer = EcdsaSigner(0)
+        registry.register_signer(ecdsa_signer)
+        simulated = SimulatedSigner(0)
+        signed = simulated.sign("payload")
+        assert not registry.verify("payload", signed)
+
+    def test_tampered_payload_rejected(self):
+        keys = KeyRegistry.provision(range(1), use_ecdsa=True)
+        signed = keys.signer_for(0).sign({"amount": 10})
+        assert not keys.registry.verify({"amount": 11}, signed)
+
+
+class TestKeyRegistry:
+    def test_unknown_signer_rejected(self):
+        registry = KeyRegistry()
+        signer = SimulatedSigner(5)
+        signed = signer.sign("hello")
+        assert not registry.verify("hello", signed)
+
+    def test_require_valid_raises(self):
+        registry = KeyRegistry()
+        signer = SimulatedSigner(5)
+        signed = signer.sign("hello")
+        with pytest.raises(InvalidSignatureError):
+            registry.require_valid("hello", signed)
+
+    def test_knows_and_replicas(self):
+        keys = KeyRegistry.provision(range(3))
+        assert keys.registry.knows(2)
+        assert not keys.registry.knows(7)
+        assert set(keys.registry.replicas()) == {0, 1, 2}
+
+    def test_add_replica_after_provision(self):
+        keys = KeyRegistry.provision(range(3))
+        keys.add_replica(10)
+        signed = keys.signer_for(10).sign("joined")
+        assert keys.registry.verify("joined", signed)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(InvalidSignatureError):
+            scheme_for("no-such-scheme")
+
+
+class TestPayloadDigest:
+    def test_stable(self):
+        assert payload_digest({"a": 1}) == payload_digest({"a": 1})
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})

@@ -1,0 +1,73 @@
+"""Tests for the experiment drivers (fast paths only; heavy cells run in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.appendix_b import run_appendix_b
+from repro.experiments.common import attack_sizes, figure_sizes, sweep_seeds
+from repro.experiments.fig3_throughput import run_fig3
+from repro.experiments.fig5_membership import run_catchup_timing
+from repro.experiments.fig6_blockdepth import theoretical_blockdepth_curve
+from repro.experiments.table1_merge import merge_two_blocks, run_table1
+
+
+class TestSweepConfiguration:
+    def test_small_scale_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert max(attack_sizes()) <= 20
+        assert sweep_seeds() == [1]
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert 90 in figure_sizes()
+        assert 100 in attack_sizes()
+        assert len(sweep_seeds()) >= 3
+
+
+class TestFig3Rows:
+    def test_rows_cover_all_protocols(self):
+        rows = run_fig3([10, 90])
+        assert {"ZLB", "Polygraph", "HotStuff", "Red Belly"} <= set(rows[0])
+        assert [row["n"] for row in rows] == [10, 90]
+
+    def test_paper_shape(self):
+        rows = run_fig3([10, 40, 90])
+        by_n = {row["n"]: row for row in rows}
+        assert by_n[90]["Red Belly"] > by_n[90]["ZLB"] > by_n[90]["HotStuff"]
+        assert by_n[10]["Polygraph"] > by_n[10]["ZLB"]
+        assert by_n[90]["Polygraph"] < by_n[90]["ZLB"]
+
+
+class TestTable1:
+    def test_merge_time_positive_and_monotone(self):
+        rows = run_table1(sizes=(100, 1_000), repetitions=1)
+        assert rows[0]["merge_time_ms"] > 0
+        assert rows[1]["merge_time_ms"] > rows[0]["merge_time_ms"]
+
+    def test_merge_two_blocks_single_call(self):
+        assert merge_two_blocks(50) > 0
+
+
+class TestFig5Catchup:
+    def test_catchup_rows(self):
+        rows = run_catchup_timing(sizes=[9], block_counts=(5, 10))
+        assert len(rows) == 2
+        by_blocks = {row["blocks"]: row["catchup_s"] for row in rows}
+        assert by_blocks[10] >= by_blocks[5] * 0.5  # timing noise tolerated
+
+
+class TestFig6Theory:
+    def test_curve_monotone(self):
+        rows = theoretical_blockdepth_curve()
+        depths = [row["min_blockdepth"] for row in rows]
+        assert depths == sorted(depths)
+
+
+class TestAppendixB:
+    def test_rows_match_paper_within_rounding(self):
+        by_case = {
+            (row["delta"], row["rho"]): row["min_blockdepth"]
+            for row in run_appendix_b()
+        }
+        assert abs(by_case[(0.5, 0.55)] - 4) <= 1
+        assert abs(by_case[(0.5, 0.9)] - 28) <= 1
+        assert abs(by_case[(0.6, 0.9)] - 37) <= 1

@@ -1,0 +1,188 @@
+"""Unit tests for the blockchain record and Algorithm 2 (block merge)."""
+
+import pytest
+
+from repro.ledger.block import Block
+from repro.ledger.merge import BlockchainRecord
+from repro.ledger.transaction import build_transfer
+from repro.ledger.utxo import UTXOTable
+from repro.ledger.wallet import Wallet
+from repro.ledger.workload import (
+    TransferWorkload,
+    conflicting_blocks_workload,
+    double_spend_pair,
+)
+
+
+class TestAppendBlock:
+    def test_append_applies_transactions(self):
+        workload = TransferWorkload(num_accounts=4, seed=2)
+        record = BlockchainRecord(genesis_allocations=workload.genesis_allocations)
+        txs = workload.batch(5)
+        block = record.append_block(txs)
+        assert block.index == 1
+        assert record.height == 1
+        assert all(record.contains_tx(t.tx_id) for t in txs)
+
+    def test_append_filters_invalid_and_conflicting(self):
+        alice, bob, carol = Wallet("m-alice"), Wallet("m-bob"), Wallet("m-carol")
+        record = BlockchainRecord(genesis_allocations=[(alice.address, 100)])
+        view = UTXOTable(list(record.utxos))
+        inputs = view.select_inputs(alice.address, 100)
+        tx1 = build_transfer(alice, inputs, [(bob.address, 100)], nonce=0)
+        tx2 = build_transfer(alice, inputs, [(carol.address, 100)], nonce=1)
+        block = record.append_block([tx1, tx2])
+        # Only one of the two conflicting transactions is included.
+        assert len(block.transactions) == 1
+        assert record.utxos.balance(bob.address) == 100
+        assert record.utxos.balance(carol.address) == 0
+
+    def test_append_skips_duplicates(self):
+        workload = TransferWorkload(num_accounts=4, seed=3)
+        record = BlockchainRecord(genesis_allocations=workload.genesis_allocations)
+        txs = workload.batch(3)
+        record.append_block(txs)
+        block2 = record.append_block(txs)
+        assert len(block2.transactions) == 0
+
+
+class TestPunishment:
+    def test_punish_account_confiscates_balance(self):
+        alice = Wallet("p-alice")
+        record = BlockchainRecord(genesis_allocations=[(alice.address, 500)])
+        confiscated = record.punish_account(alice.address)
+        assert confiscated == 500
+        assert record.deposit == 500
+        assert record.utxos.balance(alice.address) == 0
+
+    def test_future_outputs_to_punished_confiscated(self):
+        alice, bob = Wallet("p2-alice"), Wallet("p2-bob")
+        record = BlockchainRecord(genesis_allocations=[(alice.address, 100)])
+        record.punish_account(bob.address)
+        view = UTXOTable(list(record.utxos))
+        tx = build_transfer(
+            alice, view.select_inputs(alice.address, 40), [(bob.address, 40)]
+        )
+        record.append_block([tx])
+        assert record.utxos.balance(bob.address) == 0
+        assert record.deposit == 40
+
+    def test_fund_deposit(self):
+        record = BlockchainRecord()
+        record.fund_deposit(30)
+        assert record.deposit == 30
+        with pytest.raises(Exception):
+            record.fund_deposit(-1)
+
+
+class TestMergeConflictingBlock:
+    def _forked_records(self):
+        """Two replicas that decided conflicting double-spend blocks."""
+        tx_bob, tx_carol, allocations = double_spend_pair(amount=1_000)
+        record_a = BlockchainRecord(genesis_allocations=allocations, initial_deposit=2_000)
+        record_b = BlockchainRecord(genesis_allocations=allocations, initial_deposit=2_000)
+        block_a = record_a.append_block([tx_bob])
+        block_b = record_b.append_block([tx_carol])
+        return record_a, record_b, block_a, block_b, tx_bob, tx_carol
+
+    def test_merge_refunds_conflicting_input_from_deposit(self):
+        record_a, _, _, block_b, tx_bob, tx_carol = self._forked_records()
+        deposit_before = record_a.deposit
+        outcome = record_a.merge_block(block_b)
+        assert outcome.merged_transactions == 1
+        assert outcome.refunded_inputs == 1
+        assert outcome.refunded_amount == 1_000
+        # The deposit funded the conflicting input.
+        assert record_a.deposit == deposit_before - 1_000
+        # Both Bob's and Carol's outputs now exist: no honest loss.
+        bob_account = tx_bob.outputs[0].account
+        carol_account = tx_carol.outputs[0].account
+        assert record_a.utxos.balance(bob_account) == 1_000
+        assert record_a.utxos.balance(carol_account) == 1_000
+
+    def test_merge_is_idempotent_for_known_transactions(self):
+        record_a, _, _, block_b, _, _ = self._forked_records()
+        record_a.merge_block(block_b)
+        outcome = record_a.merge_block(block_b)
+        assert outcome.merged_transactions == 0
+        assert outcome.already_known == len(block_b.transactions)
+
+    def test_merge_symmetric_convergence(self):
+        record_a, record_b, block_a, block_b, _, _ = self._forked_records()
+        record_a.merge_block(block_b)
+        record_b.merge_block(block_a)
+        # Both replicas end with the same transaction set and same balances.
+        assert record_a.known_tx_ids == record_b.known_tx_ids
+        balances_a = {
+            account: record_a.utxos.balance(account)
+            for account in {u.account for u in record_a.utxos}
+        }
+        balances_b = {
+            account: record_b.utxos.balance(account)
+            for account in {u.account for u in record_b.utxos}
+        }
+        assert balances_a == balances_b
+
+    def test_merge_non_conflicting_block_needs_no_deposit(self):
+        workload = TransferWorkload(num_accounts=4, seed=4)
+        record = BlockchainRecord(
+            genesis_allocations=workload.genesis_allocations, initial_deposit=100
+        )
+        other_branch = Block(
+            index=1, parent_hash="other", transactions=tuple(workload.batch(3))
+        )
+        outcome = record.merge_block(other_branch)
+        assert outcome.refunded_inputs == 0
+        assert record.deposit == 100
+
+    def test_merge_confiscates_outputs_to_punished_accounts(self):
+        tx_bob, tx_carol, allocations = double_spend_pair(amount=500)
+        record = BlockchainRecord(genesis_allocations=allocations, initial_deposit=1_000)
+        record.append_block([tx_bob])
+        carol_account = tx_carol.outputs[0].account
+        record.punish_account(carol_account)
+        block_b = Block(index=1, parent_hash="x", transactions=(tx_carol,))
+        outcome = record.merge_block(block_b)
+        assert outcome.confiscated_outputs == 1
+        assert record.utxos.balance(carol_account) == 0
+
+    def test_deposit_shortfall_reported(self):
+        tx_bob, tx_carol, allocations = double_spend_pair(amount=1_000)
+        record = BlockchainRecord(genesis_allocations=allocations, initial_deposit=100)
+        record.append_block([tx_bob])
+        block_b = Block(index=1, parent_hash="x", transactions=(tx_carol,))
+        record.merge_block(block_b)
+        assert record.deposit < 0
+        assert record.deposit_shortfall() == 900
+
+    def test_summary_keys(self):
+        record = BlockchainRecord()
+        summary = record.summary()
+        assert {
+            "height",
+            "transactions",
+            "utxos",
+            "deposit",
+            "pending_deposit_inputs",
+            "punished_accounts",
+            "merged_blocks",
+        } <= set(summary)
+
+
+class TestConflictingBlocksWorkload:
+    def test_all_pairs_conflict(self):
+        branch_a, branch_b, _ = conflicting_blocks_workload(10, seed=1)
+        assert len(branch_a) == len(branch_b) == 10
+        for tx_a, tx_b in zip(branch_a, branch_b):
+            assert tx_a.conflicts_with(tx_b)
+
+    def test_merge_all_conflicting(self):
+        branch_a, branch_b, allocations = conflicting_blocks_workload(20, seed=2)
+        record = BlockchainRecord(
+            genesis_allocations=allocations, initial_deposit=10_000
+        )
+        record.append_block(branch_a)
+        conflicting = Block(index=1, parent_hash="other", transactions=tuple(branch_b))
+        outcome = record.merge_block(conflicting)
+        assert outcome.merged_transactions == 20
+        assert outcome.refunded_inputs == 20

@@ -1,0 +1,150 @@
+"""Unit tests for the UTXO table."""
+
+import pytest
+
+from repro.common.errors import InvalidTransactionError, LedgerError
+from repro.ledger.block import make_genesis_block
+from repro.ledger.transaction import build_transfer
+from repro.ledger.utxo import UTXO, UTXOTable
+from repro.ledger.wallet import Wallet
+
+
+@pytest.fixture
+def alice_bob():
+    alice, bob = Wallet("utxo-alice"), Wallet("utxo-bob")
+    _, utxos = make_genesis_block([(alice.address, 100), (bob.address, 50)])
+    return alice, bob, UTXOTable(utxos)
+
+
+class TestBasicOperations:
+    def test_add_and_contains(self):
+        table = UTXOTable()
+        table.add(UTXO("t:0", "a", 10))
+        assert table.contains("t:0")
+        assert table.get("t:0").amount == 10
+        assert len(table) == 1
+
+    def test_duplicate_add_rejected(self):
+        table = UTXOTable()
+        table.add(UTXO("t:0", "a", 10))
+        with pytest.raises(LedgerError):
+            table.add(UTXO("t:0", "a", 10))
+
+    def test_non_positive_amount_rejected(self):
+        with pytest.raises(LedgerError):
+            UTXOTable().add(UTXO("t:0", "a", 0))
+
+    def test_remove(self):
+        table = UTXOTable()
+        table.add(UTXO("t:0", "a", 10))
+        removed = table.remove("t:0")
+        assert removed.amount == 10
+        assert not table.contains("t:0")
+        assert table.balance("a") == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(LedgerError):
+            UTXOTable().remove("nope")
+
+    def test_iteration(self):
+        table = UTXOTable([UTXO("a:0", "x", 1), UTXO("b:0", "y", 2)])
+        assert {u.utxo_id for u in table} == {"a:0", "b:0"}
+
+
+class TestBalancesAndSelection:
+    def test_balance(self, alice_bob):
+        alice, bob, table = alice_bob
+        assert table.balance(alice.address) == 100
+        assert table.balance(bob.address) == 50
+        assert table.balance("unknown") == 0
+
+    def test_select_inputs_exact(self, alice_bob):
+        alice, _, table = alice_bob
+        inputs = table.select_inputs(alice.address, 100)
+        assert sum(i.amount for i in inputs) >= 100
+
+    def test_select_inputs_insufficient(self, alice_bob):
+        alice, _, table = alice_bob
+        with pytest.raises(InvalidTransactionError):
+            table.select_inputs(alice.address, 1000)
+
+    def test_select_inputs_invalid_amount(self, alice_bob):
+        alice, _, table = alice_bob
+        with pytest.raises(InvalidTransactionError):
+            table.select_inputs(alice.address, 0)
+
+    def test_select_prefers_fewest_utxos(self):
+        table = UTXOTable(
+            [UTXO("s:0", "a", 5), UTXO("s:1", "a", 50), UTXO("s:2", "a", 3)]
+        )
+        inputs = table.select_inputs("a", 40)
+        assert len(inputs) == 1
+        assert inputs[0].utxo_id == "s:1"
+
+
+class TestApplyTransaction:
+    def test_apply_moves_value(self, alice_bob):
+        alice, bob, table = alice_bob
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 30), [(bob.address, 30)]
+        )
+        created = table.apply_transaction(tx)
+        assert table.balance(bob.address) == 80
+        assert table.balance(alice.address) == 70
+        assert all(table.contains(u.utxo_id) for u in created)
+
+    def test_total_supply_conserved(self, alice_bob):
+        alice, bob, table = alice_bob
+        before = table.total_supply()
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 30), [(bob.address, 30)]
+        )
+        table.apply_transaction(tx)
+        assert table.total_supply() == before
+
+    def test_double_spend_rejected(self, alice_bob):
+        alice, bob, table = alice_bob
+        inputs = table.select_inputs(alice.address, 30)
+        tx1 = build_transfer(alice, inputs, [(bob.address, 30)], nonce=0)
+        tx2 = build_transfer(alice, inputs, [(bob.address, 30)], nonce=1)
+        table.apply_transaction(tx1)
+        assert not table.can_apply(tx2)
+        with pytest.raises(InvalidTransactionError):
+            table.apply_transaction(tx2)
+
+    def test_mismatched_amount_rejected(self, alice_bob):
+        alice, bob, table = alice_bob
+        inputs = table.select_inputs(alice.address, 30)
+        # Tamper with the recorded amount on the input.
+        from repro.ledger.transaction import Transaction, TxInput, TxOutput
+
+        forged_input = TxInput(inputs[0].utxo_id, alice.address, inputs[0].amount + 1)
+        tx = Transaction(
+            inputs=(forged_input,),
+            outputs=(TxOutput(bob.address, 1),),
+        )
+        with pytest.raises(InvalidTransactionError):
+            table.apply_transaction(tx)
+
+    def test_failed_apply_leaves_table_untouched(self, alice_bob):
+        alice, bob, table = alice_bob
+        inputs = table.select_inputs(alice.address, 100)
+        tx1 = build_transfer(alice, inputs, [(bob.address, 100)], nonce=0)
+        tx2 = build_transfer(alice, inputs, [(bob.address, 100)], nonce=1)
+        table.apply_transaction(tx1)
+        before = table.to_payload()
+        with pytest.raises(InvalidTransactionError):
+            table.apply_transaction(tx2)
+        assert table.to_payload() == before
+
+
+class TestSnapshot:
+    def test_snapshot_is_independent(self, alice_bob):
+        alice, bob, table = alice_bob
+        snapshot = table.snapshot()
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 30), [(bob.address, 30)]
+        )
+        table.apply_transaction(tx)
+        assert snapshot.balance(alice.address) == 100
+        assert table.balance(alice.address) == 70

@@ -1,0 +1,156 @@
+"""Unit tests for the delay models."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.network.delays import (
+    AWS_REGIONS,
+    AwsRegionDelay,
+    ConstantDelay,
+    GammaDelay,
+    PartitionedDelay,
+    UniformDelay,
+    delay_model_from_name,
+)
+from repro.network.partition import PartitionSpec
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestConstantDelay:
+    def test_sample(self, rng):
+        model = ConstantDelay(0.25)
+        assert model.sample(0, 1, rng) == 0.25
+        assert model.mean_delay() == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(-1)
+
+
+class TestUniformDelay:
+    def test_range(self, rng):
+        model = UniformDelay.from_mean(0.5)
+        samples = [model.sample(0, 1, rng) for _ in range(500)]
+        assert all(0.25 <= s <= 0.75 for s in samples)
+
+    def test_mean_close_to_requested(self, rng):
+        model = UniformDelay.from_mean(1.0)
+        samples = [model.sample(0, 1, rng) for _ in range(2000)]
+        assert abs(sum(samples) / len(samples) - 1.0) < 0.05
+        assert model.mean_delay() == pytest.approx(1.0)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(low=-0.1, high=0.2)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(low=0.5, high=0.1)
+        with pytest.raises(ConfigurationError):
+            UniformDelay.from_mean(0)
+
+
+class TestGammaDelay:
+    def test_positive_samples(self, rng):
+        model = GammaDelay()
+        assert all(model.sample(0, 1, rng) > 0 for _ in range(200))
+
+    def test_mean(self, rng):
+        model = GammaDelay(shape=2.0, mean_seconds=0.04)
+        samples = [model.sample(0, 1, rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 0.04) < 0.005
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GammaDelay(shape=0)
+        with pytest.raises(ConfigurationError):
+            GammaDelay(mean_seconds=0)
+
+
+class TestAwsRegionDelay:
+    def test_same_region_is_fast(self, rng):
+        model = AwsRegionDelay()
+        # Replicas 0 and 5 share the first region under round-robin placement.
+        assert model.region_of(0) == model.region_of(5)
+        assert model.sample(0, 5, rng) < 0.01
+
+    def test_cross_continent_is_slow(self, rng):
+        model = AwsRegionDelay(jitter_fraction=0.0)
+        # California (index 0) to Frankfurt (index 3).
+        delay = model.sample(0, 3, rng)
+        assert delay > 0.05
+
+    def test_symmetric_lookup(self, rng):
+        model = AwsRegionDelay(jitter_fraction=0.0)
+        assert model.sample(0, 3, rng) == pytest.approx(model.sample(3, 0, rng))
+
+    def test_mean_delay_positive(self):
+        assert AwsRegionDelay().mean_delay() > 0
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AwsRegionDelay(regions=("mars-north-1",))
+
+    def test_round_robin_covers_all_regions(self):
+        model = AwsRegionDelay()
+        regions = {model.region_of(i) for i in range(len(AWS_REGIONS))}
+        assert regions == set(AWS_REGIONS)
+
+
+class TestPartitionedDelay:
+    def test_cross_partition_links_slow(self, rng):
+        partition = PartitionSpec.split_evenly([0, 1, 2, 3], 2, bridging=[4, 5])
+        model = PartitionedDelay(
+            base=ConstantDelay(0.01),
+            cross_partition=ConstantDelay(1.0),
+            partition=partition,
+        )
+        slow_pairs = 0
+        for sender in range(4):
+            for recipient in range(4):
+                delay = model.sample(sender, recipient, rng)
+                if partition.crosses_partitions(sender, recipient):
+                    assert delay == 1.0
+                    slow_pairs += 1
+                else:
+                    assert delay == 0.01
+        assert slow_pairs > 0
+
+    def test_deceitful_bridges_fast_everywhere(self, rng):
+        partition = PartitionSpec.split_evenly([0, 1, 2, 3], 2, bridging=[4])
+        model = PartitionedDelay(
+            base=ConstantDelay(0.01),
+            cross_partition=ConstantDelay(1.0),
+            partition=partition,
+        )
+        for other in range(4):
+            assert model.sample(4, other, rng) == 0.01
+            assert model.sample(other, 4, rng) == 0.01
+
+    def test_mean_delay_reports_base(self):
+        partition = PartitionSpec.split_evenly([0, 1], 2)
+        model = PartitionedDelay(ConstantDelay(0.02), ConstantDelay(2.0), partition)
+        assert model.mean_delay() == 0.02
+
+
+class TestDelayModelFromName:
+    def test_named_models(self):
+        assert isinstance(delay_model_from_name("aws"), AwsRegionDelay)
+        assert isinstance(delay_model_from_name("aws-like"), AwsRegionDelay)
+        assert isinstance(delay_model_from_name("gamma"), GammaDelay)
+        assert isinstance(delay_model_from_name("constant"), ConstantDelay)
+
+    def test_uniform_from_ms(self):
+        model = delay_model_from_name("500ms")
+        assert isinstance(model, UniformDelay)
+        assert model.mean_delay() == pytest.approx(0.5)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            delay_model_from_name("warp-speed")
+        with pytest.raises(ConfigurationError):
+            delay_model_from_name("xxms")

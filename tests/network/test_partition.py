@@ -1,0 +1,59 @@
+"""Unit tests for partition specifications."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.network.partition import PartitionSpec
+
+
+class TestPartitionSpec:
+    def test_split_evenly_balanced(self):
+        spec = PartitionSpec.split_evenly(range(10), 3)
+        sizes = sorted(len(p) for p in spec.partitions)
+        assert sizes == [3, 3, 4]
+        assert spec.num_partitions == 3
+
+    def test_partition_of(self):
+        spec = PartitionSpec.split_evenly([0, 1, 2, 3], 2, bridging=[4])
+        assert spec.partition_of(0) is not None
+        assert spec.partition_of(4) is None
+
+    def test_crosses_partitions(self):
+        spec = PartitionSpec(
+            partitions=(frozenset({0, 1}), frozenset({2, 3})), bridging=frozenset({4})
+        )
+        assert spec.crosses_partitions(0, 2)
+        assert not spec.crosses_partitions(0, 1)
+        assert not spec.crosses_partitions(0, 4)
+        assert not spec.crosses_partitions(4, 2)
+
+    def test_members(self):
+        spec = PartitionSpec.split_evenly([0, 1, 2], 2, bridging=[7])
+        assert spec.members() == frozenset({0, 1, 2, 7})
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec(partitions=(frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_bridging_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec(partitions=(frozenset({0}),), bridging=frozenset({0}))
+
+    def test_empty_honest_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split_evenly([], 2)
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split_evenly([0, 1], 0)
+
+    def test_describe(self):
+        spec = PartitionSpec.split_evenly([0, 1, 2, 3], 2, bridging=[9])
+        summary = spec.describe()
+        assert summary["bridging"] == [9]
+        assert set(summary) == {"partition-0", "partition-1", "bridging"}
+
+    def test_deterministic_split(self):
+        assert PartitionSpec.split_evenly(range(9), 3) == PartitionSpec.split_evenly(
+            range(9), 3
+        )

@@ -1,0 +1,249 @@
+"""Unit tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import SimulationError
+from repro.network.delays import ConstantDelay, UniformDelay
+from repro.network.message import Message, estimate_size_bytes
+from repro.network.simulator import NetworkSimulator, Process
+
+
+class Recorder(Process):
+    """A process that records every delivered message with its arrival time."""
+
+    def __init__(self, replica_id):
+        super().__init__(replica_id)
+        self.received = []
+        self.started = False
+
+    def on_start(self):
+        self.started = True
+
+    def on_message(self, message):
+        self.received.append((self.now, message))
+
+
+class Echoer(Recorder):
+    """Replies to every PING with a PONG back to the sender."""
+
+    def on_message(self, message):
+        super().on_message(message)
+        if message.kind == "PING":
+            self.send_to(message.sender, message.protocol, "PONG", {})
+
+
+class TestSimulatorBasics:
+    def test_point_to_point_delivery(self):
+        sim = NetworkSimulator(ConstantDelay(0.5))
+        alice, bob = Recorder(0), Recorder(1)
+        sim.add_process(alice)
+        sim.add_process(bob)
+        alice.bind(sim)
+        sim.submit(Message(sender=0, recipient=1, protocol="t", kind="HELLO"))
+        result = sim.run()
+        assert len(bob.received) == 1
+        arrival, message = bob.received[0]
+        assert arrival == pytest.approx(0.5)
+        assert message.kind == "HELLO"
+        assert result.events == 1
+
+    def test_on_start_invoked(self):
+        sim = NetworkSimulator()
+        p = Recorder(0)
+        sim.add_process(p)
+        sim.run()
+        assert p.started
+
+    def test_broadcast_reaches_all(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(5)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("proto", "HI", {"x": 1})
+        sim.run()
+        for p in processes:
+            assert len(p.received) == 1
+
+    def test_broadcast_exclude_self(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(3)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("proto", "HI", {}, include_self=False)
+        sim.run()
+        assert len(processes[0].received) == 0
+        assert len(processes[1].received) == 1
+
+    def test_broadcast_restricted_recipients(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(4)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("proto", "HI", {}, recipients=[1, 2])
+        sim.run()
+        assert len(processes[1].received) == 1
+        assert len(processes[2].received) == 1
+        assert len(processes[3].received) == 0
+
+    def test_request_reply_round_trip(self):
+        sim = NetworkSimulator(ConstantDelay(0.1))
+        alice, bob = Echoer(0), Echoer(1)
+        sim.add_process(alice)
+        sim.add_process(bob)
+        alice.send_to(1, "rpc", "PING", {})
+        sim.run()
+        assert [m.kind for _, m in bob.received] == ["PING"]
+        assert [m.kind for _, m in alice.received] == ["PONG"]
+        assert alice.received[0][0] == pytest.approx(0.2)
+
+    def test_duplicate_registration_rejected(self):
+        sim = NetworkSimulator()
+        sim.add_process(Recorder(0))
+        with pytest.raises(SimulationError):
+            sim.add_process(Recorder(0))
+
+    def test_unattached_process_cannot_send(self):
+        p = Recorder(0)
+        with pytest.raises(SimulationError):
+            p.send_to(1, "x", "Y", {})
+
+
+class TestTimers:
+    def test_timer_fires_in_order(self):
+        sim = NetworkSimulator()
+        fired = []
+        sim.add_process(Recorder(0))
+        sim.schedule(0.5, lambda: fired.append("late"))
+        sim.schedule(0.1, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == pytest.approx(0.5)
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = NetworkSimulator()
+        fired = []
+        timer_id = sim.schedule(0.2, lambda: fired.append("x"))
+        sim.cancel(timer_id)
+        sim.run()
+        assert fired == []
+
+    def test_process_set_timer(self):
+        sim = NetworkSimulator()
+        p = Recorder(0)
+        sim.add_process(p)
+        fired = []
+        p.set_timer(0.3, lambda: fired.append(p.now))
+        sim.run()
+        assert fired == [pytest.approx(0.3)]
+
+    def test_negative_delay_rejected(self):
+        sim = NetworkSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestRunControl:
+    def test_until_deadline(self):
+        sim = NetworkSimulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.pending_events() == 1
+
+    def test_stop_when_predicate(self):
+        sim = NetworkSimulator()
+        fired = []
+        for delay in (0.1, 0.2, 0.3, 0.4):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [0.1, 0.2]
+
+    def test_event_budget(self):
+        sim = NetworkSimulator()
+        for i in range(10):
+            sim.schedule(0.1 * i, lambda: None)
+        result = sim.run(max_events=3)
+        assert result.events == 3
+        assert result.exhausted_budget
+
+    def test_max_time_from_config(self):
+        sim = NetworkSimulator(config=SimulationConfig(max_time=1.0))
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("never"))
+        sim.run()
+        assert fired == []
+
+
+class TestDisconnect:
+    def test_messages_to_disconnected_dropped(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        a, b = Recorder(0), Recorder(1)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.disconnect(1)
+        a.send_to(1, "p", "X", {})
+        sim.run()
+        assert b.received == []
+        assert sim.messages_dropped == 1
+
+    def test_reconnect_restores_delivery(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        a, b = Recorder(0), Recorder(1)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.disconnect(1)
+        sim.reconnect(1)
+        a.send_to(1, "p", "X", {})
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_message_to_unknown_replica_dropped(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        a = Recorder(0)
+        sim.add_process(a)
+        a.send_to(99, "p", "X", {})
+        sim.run()
+        assert sim.messages_dropped == 1
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        sim = NetworkSimulator(
+            UniformDelay.from_mean(0.2), SimulationConfig(seed=seed)
+        )
+        recorders = [Recorder(i) for i in range(4)]
+        for r in recorders:
+            sim.add_process(r)
+        for sender in range(4):
+            recorders[sender].broadcast("p", "HI", {"from": sender})
+        sim.run()
+        return [
+            [(round(t, 9), m.sender) for t, m in r.received] for r in recorders
+        ]
+
+    def test_same_seed_same_schedule(self):
+        assert self._run_once(7) == self._run_once(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._run_once(7) != self._run_once(8)
+
+
+class TestMessageHelpers:
+    def test_with_recipient(self):
+        original = Message(sender=0, recipient=1, protocol="p", kind="K", body={"a": 1})
+        copy = original.with_recipient(2)
+        assert copy.recipient == 2
+        assert copy.body == original.body
+        assert copy.uid != original.uid
+
+    def test_describe(self):
+        message = Message(sender=0, recipient=1, protocol="p", kind="K")
+        assert "p/K" in message.describe()
+
+    def test_estimate_size_monotone(self):
+        small = estimate_size_bytes({"v": 1})
+        large = estimate_size_bytes({"v": list(range(100))})
+        assert large > small

@@ -1,0 +1,88 @@
+"""Tests for the ASMR replica (fault-free path and confirmation phase)."""
+
+import pytest
+
+from repro.common.config import ProtocolConfig, SimulationConfig
+from repro.crypto.keys import KeyRegistry
+from repro.network.delays import ConstantDelay
+from repro.network.simulator import NetworkSimulator
+from repro.smr.asmr import ASMRReplica
+from repro.smr.pool import CandidatePool
+
+
+def build_asmr_cluster(n=4, instances=2, seed=0, config=None):
+    keys = KeyRegistry.provision(range(n))
+    simulator = NetworkSimulator(ConstantDelay(0.01), SimulationConfig(seed=seed))
+    committee = list(range(n))
+    replicas = []
+    commits = {i: [] for i in range(n)}
+    for replica_id in committee:
+        replica = ASMRReplica(
+            replica_id=replica_id,
+            committee=committee,
+            signer=keys.signer_for(replica_id),
+            registry=keys.registry,
+            pool=CandidatePool([]),
+            config=config or ProtocolConfig(batch_size=10),
+            proposal_factory=lambda k, rid=replica_id: {"instance": k, "from": rid},
+            on_commit=lambda k, decision, rid=replica_id: commits[rid].append(k),
+        )
+        simulator.add_process(replica)
+        replicas.append(replica)
+    for replica in replicas:
+        replica.submit_instances(instances)
+    simulator.run()
+    return replicas, commits, simulator
+
+
+class TestASMRFaultFree:
+    def test_all_replicas_decide_all_instances(self):
+        replicas, commits, _ = build_asmr_cluster(n=4, instances=3)
+        for replica in replicas:
+            assert replica.decided_instances() == [0, 1, 2]
+        for committed in commits.values():
+            assert committed == [0, 1, 2]
+
+    def test_decisions_agree_across_replicas(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=2)
+        for instance in (0, 1):
+            digests = {r.instances[instance].decision.digest for r in replicas}
+            assert len(digests) == 1
+
+    def test_confirmation_reached_without_disagreement(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=1)
+        for replica in replicas:
+            record = replica.instances[0]
+            assert record.confirmed_at is not None
+            assert not record.disagreed
+        assert all(r.pofs == {} for r in replicas)
+
+    def test_no_membership_change_without_pofs(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=2)
+        assert all(r.membership_outcomes == [] for r in replicas)
+        assert all(r.detected_at is None for r in replicas)
+
+    def test_confirmation_disabled(self):
+        replicas, _, _ = build_asmr_cluster(
+            n=4,
+            instances=1,
+            config=ProtocolConfig(batch_size=10, confirmation_enabled=False),
+        )
+        for replica in replicas:
+            assert replica.instances[0].decision is not None
+            assert replica.instances[0].confirmed_at is None
+
+    def test_instances_run_sequentially(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=2)
+        record0 = replicas[0].instances[0]
+        record1 = replicas[0].instances[1]
+        assert record1.started_at >= record0.decided_at
+
+    def test_pof_threshold_default(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=1)
+        assert replicas[0].pof_threshold() == 2  # ceil(4/3)
+
+    def test_metrics_helpers(self):
+        replicas, _, _ = build_asmr_cluster(n=4, instances=1)
+        assert replicas[0].total_disagreeing_slots() == 0
+        assert replicas[0].disagreement_instances() == []

@@ -1,0 +1,58 @@
+"""Unit tests for the candidate pool and the deterministic choose function."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.smr.membership import choose_included
+from repro.smr.pool import CandidatePool
+
+
+class TestCandidatePool:
+    def test_take_does_not_consume(self):
+        pool = CandidatePool([10, 11, 12, 13])
+        assert pool.take(2) == [10, 11]
+        assert pool.take(2) == [10, 11]
+        assert len(pool) == 4
+
+    def test_mark_included_consumes(self):
+        pool = CandidatePool([10, 11, 12])
+        pool.mark_included([10])
+        assert pool.take(2) == [11, 12]
+        assert not pool.contains(10)
+        assert pool.contains(11)
+
+    def test_duplicates_removed(self):
+        pool = CandidatePool([5, 5, 6])
+        assert pool.available() == [5, 6]
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidatePool([1]).take(-1)
+
+    def test_disjoint_from_committee(self):
+        pool = CandidatePool.disjoint_from_committee(committee_size=4, pool_size=3)
+        assert pool.available() == [4, 5, 6]
+        with pytest.raises(ConfigurationError):
+            CandidatePool.disjoint_from_committee(4, -1)
+
+
+class TestChooseIncluded:
+    def test_even_selection_across_proposals(self):
+        chosen = choose_included(4, [[10, 11, 12, 13], [20, 21, 22, 23]])
+        # Round-robin across proposals: alternating picks.
+        assert chosen == [10, 20, 11, 21]
+
+    def test_deterministic_regardless_of_order(self):
+        a = choose_included(3, [[1, 2, 3], [4, 5, 6]])
+        b = choose_included(3, [[4, 5, 6], [1, 2, 3]])
+        assert a == b
+
+    def test_duplicates_across_proposals_collapse(self):
+        chosen = choose_included(3, [[1, 2], [1, 3]])
+        assert sorted(chosen) == [1, 2, 3]
+
+    def test_fewer_candidates_than_requested(self):
+        assert choose_included(5, [[1], [2]]) == [1, 2]
+
+    def test_zero_count(self):
+        assert choose_included(0, [[1, 2]]) == []
