@@ -8,7 +8,7 @@ and EXPERIMENTS.md for paper-vs-measured results.
 
 from repro.experiments.common import attack_sizes, figure_sizes, sweep_seeds
 from repro.experiments.fig3_throughput import run_fig3
-from repro.experiments.fig4_disagreements import run_fig4, run_attack_cell
+from repro.experiments.fig4_disagreements import fig4_specs, run_fig4, run_attack_cell
 from repro.experiments.fig5_membership import run_fig5, run_catchup_timing
 from repro.experiments.fig6_blockdepth import run_fig6
 from repro.experiments.table1_merge import run_table1, merge_two_blocks
@@ -20,6 +20,7 @@ __all__ = [
     "figure_sizes",
     "sweep_seeds",
     "run_fig3",
+    "fig4_specs",
     "run_fig4",
     "run_attack_cell",
     "run_fig5",

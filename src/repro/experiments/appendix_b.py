@@ -12,10 +12,7 @@ reproduce exactly:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
-
-from repro.analysis.zero_loss import branch_bound, minimum_blockdepth
 
 
 def run_appendix_b(n: int = 900, deposit_factor: float = 0.1) -> List[Dict[str, object]]:
@@ -23,25 +20,17 @@ def run_appendix_b(n: int = 900, deposit_factor: float = 0.1) -> List[Dict[str, 
 
     ``n = 900`` keeps ``delta * n`` integral for every ratio the appendix uses,
     so the branch bound is evaluated exactly where the paper evaluates it.
+    The cases are declared through the scenario registry (family
+    ``appendix-b``); custom ``n``/``deposit_factor`` override the registered
+    grid cell by cell.
     """
-    cases = [
-        {"delta": 0.5, "rho": 0.55},
-        {"delta": 0.5, "rho": 0.9},
-        {"delta": 0.6, "rho": 0.9},
-        {"delta": 0.64, "rho": 0.9},
-        {"delta": 0.66, "rho": 0.9},
-    ]
-    rows: List[Dict[str, object]] = []
-    for case in cases:
-        deceitful = int(round(case["delta"] * n))
-        branches = branch_bound(n, deceitful)
-        m = minimum_blockdepth(a=branches, b=deposit_factor, rho=case["rho"])
-        rows.append(
-            {
-                "delta": case["delta"],
-                "rho": case["rho"],
-                "branches": branches,
-                "min_blockdepth": m,
-            }
+    from repro.scenarios.registry import expand
+    from repro.scenarios.runner import run_specs
+
+    specs = [
+        spec.with_overrides(
+            n=n, params={"deposit_factor": deposit_factor}
         )
-    return rows
+        for spec in expand("appendix-b")
+    ]
+    return run_specs(specs)

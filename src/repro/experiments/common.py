@@ -27,7 +27,11 @@ def attack_sizes(scale: Optional[str] = None) -> List[int]:
     return list(PAPER_ATTACK_SIZES if scale == "full" else SMALL_ATTACK_SIZES)
 
 
+#: Seeds of the full-scale sweeps (the paper averages 3–5 runs).
+PAPER_SWEEP_SEEDS: List[int] = [1, 2, 3]
+
+
 def sweep_seeds(scale: Optional[str] = None) -> List[int]:
     """Seeds per configuration (the paper averages 3–5 runs)."""
     scale = scale or experiment_scale()
-    return [1, 2, 3] if scale == "full" else [1]
+    return list(PAPER_SWEEP_SEEDS) if scale == "full" else [1]

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.analysis.throughput import ThroughputModel, available_protocols
 from repro.baselines.hotstuff import HotStuffCluster
 from repro.baselines.redbelly import RedBellyCluster
 from repro.common.config import FaultConfig
@@ -23,18 +22,27 @@ from repro.network.delays import AwsRegionDelay
 from repro.zlb.system import ZLBSystem
 
 
+def fig3_specs(sizes: Optional[List[int]] = None):
+    """Expand the Figure 3 sweep into scenario specs (single source of truth
+    for both :func:`run_fig3` and the registry's ``fig3`` family grid)."""
+    from repro.scenarios.registry import expand_grid
+
+    return expand_grid(
+        "fig3",
+        {"n": tuple(sizes or figure_sizes())},
+        base={"delay": "aws", "seed": 0, "instances": 0},
+    )
+
+
 def run_fig3(sizes: Optional[List[int]] = None) -> List[Dict[str, float]]:
-    """Model-level Figure 3 rows: one row per committee size, tx/s per protocol."""
-    sizes = sizes or figure_sizes()
-    model = ThroughputModel(AwsRegionDelay())
-    rows: List[Dict[str, float]] = []
-    for n in sizes:
-        row: Dict[str, float] = {"n": n}
-        for protocol in available_protocols():
-            row[protocol] = round(model.throughput(protocol, n), 1)
-        row["zlb_vs_hotstuff"] = round(row["ZLB"] / row["HotStuff"], 2)
-        rows.append(row)
-    return rows
+    """Model-level Figure 3 rows: one row per committee size, tx/s per protocol.
+
+    Declared through the scenario registry (family ``fig3``): one cell per
+    committee size, each evaluating the calibrated phase-level model.
+    """
+    from repro.scenarios.runner import run_specs
+
+    return run_specs(fig3_specs(sizes))
 
 
 def run_measured_comparison(

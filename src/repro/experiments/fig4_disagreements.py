@@ -28,8 +28,16 @@ def run_attack_cell(
     max_time: float = 300.0,
     benign: int = 0,
     deceitful: Optional[int] = None,
+    delay: str = "aws",
+    workload_transactions: Optional[int] = None,
+    batch_size: int = 10,
 ) -> SystemResult:
-    """One Figure 4 cell: one run of ZLB under one attack and one delay."""
+    """One Figure 4 cell: one run of ZLB under one attack and one delay.
+
+    ``delay`` is the base model between non-partitioned links (the paper uses
+    the AWS-like distribution); ``workload_transactions`` defaults to the
+    paper's 12 transfers per replica.
+    """
     if deceitful is None:
         fault_config = FaultConfig.paper_attack(n, benign=benign)
     else:
@@ -39,13 +47,44 @@ def run_attack_cell(
     system = ZLBSystem.create(
         fault_config,
         seed=seed,
-        delay="aws",
+        delay=delay,
         attack=AttackSpec(kind=attack_kind, cross_partition_delay=cross_partition_delay),
-        workload_transactions=12 * n,
-        batch_size=10,
+        workload_transactions=(
+            12 * n if workload_transactions is None else workload_transactions
+        ),
+        batch_size=batch_size,
         max_time=max_time,
     )
     return system.run_instances(instances, until=max_time)
+
+
+def fig4_specs(
+    attack_kind: str = "binary",
+    sizes: Optional[List[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    instances: int = 2,
+    max_time: float = 300.0,
+    seeds: Optional[Sequence[int]] = None,
+):
+    """Expand one Figure 4 panel into scenario specs (delay-major order).
+
+    Each cell carries the paper's workload (12 transfers per replica)
+    explicitly, so the spec hash records exactly what the cell runs.
+    """
+    from repro.scenarios.registry import expand_grid
+
+    return [
+        spec.with_overrides(workload_transactions=12 * spec.n)
+        for spec in expand_grid(
+            "fig4",
+            {
+                "cross_partition_delay": tuple(delays or FIG4_DELAYS),
+                "n": tuple(sizes or attack_sizes()),
+                "seed": tuple(seeds or sweep_seeds()),
+            },
+            base={"attack": attack_kind, "instances": instances, "max_time": max_time},
+        )
+    ]
 
 
 def run_fig4(
@@ -55,23 +94,26 @@ def run_fig4(
     instances: int = 2,
     max_time: float = 300.0,
 ) -> List[Dict[str, object]]:
-    """One Figure 4 panel: rows of (delay, n) -> disagreements."""
-    sizes = sizes or attack_sizes()
-    delays = delays or FIG4_DELAYS
+    """One Figure 4 panel: rows of (delay, n) -> disagreements.
+
+    The sweep is declared through the scenario registry (family ``fig4``) and
+    executed one cell per (delay, n, seed); this wrapper aggregates the cells
+    back into the figure's (delay, n) rows.  ``recovered`` is True when *any*
+    seed's run recovered (the pre-registry version reported whichever seed
+    happened to run last).
+    """
+    from repro.scenarios.runner import run_specs
+
+    sizes = list(sizes or attack_sizes())
+    delays = list(delays or FIG4_DELAYS)
+    cells = run_specs(
+        fig4_specs(attack_kind, sizes, delays, instances=instances, max_time=max_time)
+    )
     rows: List[Dict[str, object]] = []
     for delay in delays:
         for n in sizes:
-            disagreements: List[int] = []
-            for seed in sweep_seeds():
-                result = run_attack_cell(
-                    n,
-                    attack_kind,
-                    delay,
-                    seed=seed,
-                    instances=instances,
-                    max_time=max_time,
-                )
-                disagreements.append(result.disagreements)
+            group = [c for c in cells if c["delay"] == delay and c["n"] == n]
+            disagreements = [c["disagreements"] for c in group]
             rows.append(
                 {
                     "attack": attack_kind,
@@ -79,7 +121,7 @@ def run_fig4(
                     "n": n,
                     "disagreements": max(disagreements),
                     "mean_disagreements": sum(disagreements) / len(disagreements),
-                    "recovered": result.recovered,
+                    "recovered": any(c["recovered"] for c in group),
                 }
             )
     return rows

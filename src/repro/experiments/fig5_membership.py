@@ -16,10 +16,35 @@ from typing import Dict, List, Optional, Sequence
 from repro.consensus.certificates import Certificate, VoteKind, make_vote
 from repro.crypto.keys import KeyRegistry
 from repro.experiments.common import attack_sizes, sweep_seeds
-from repro.experiments.fig4_disagreements import run_attack_cell
 
 #: Delay distributions of Figure 5 (left three plots).
 FIG5_DELAYS: Sequence[str] = ("gamma", "aws", "500ms", "1000ms")
+
+
+def fig5_specs(
+    sizes: Optional[Sequence[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    attack_kind: str = "binary",
+    instances: int = 2,
+    max_time: float = 300.0,
+    seeds: Optional[Sequence[int]] = None,
+):
+    """Expand the Figure 5 sweep into scenario specs (single source of truth
+    for both :func:`run_fig5` and the registry's ``fig5`` family grid)."""
+    from repro.scenarios.registry import expand_grid
+
+    return [
+        spec.with_overrides(workload_transactions=12 * spec.n)
+        for spec in expand_grid(
+            "fig5",
+            {
+                "cross_partition_delay": tuple(delays or FIG5_DELAYS),
+                "n": tuple(sizes or attack_sizes()),
+                "seed": tuple(seeds or sweep_seeds()),
+            },
+            base={"attack": attack_kind, "instances": instances, "max_time": max_time},
+        )
+    ]
 
 
 def run_fig5(
@@ -29,40 +54,46 @@ def run_fig5(
     instances: int = 2,
     max_time: float = 300.0,
 ) -> List[Dict[str, object]]:
-    """Detect / exclude / include times per delay distribution and size."""
-    sizes = sizes or attack_sizes()
-    delays = delays or FIG5_DELAYS
+    """Detect / exclude / include times per delay distribution and size.
+
+    Declared through the scenario registry (family ``fig5``): one cell per
+    (delay, n, seed), aggregated here into per-(delay, n) means.
+    """
+    from repro.scenarios.runner import run_specs
+
+    sizes = list(sizes or attack_sizes())
+    delays = list(delays or FIG5_DELAYS)
+    cells = run_specs(
+        fig5_specs(sizes, delays, attack_kind, instances=instances, max_time=max_time)
+    )
+
+    def _mean(values: List[float]) -> Optional[float]:
+        return round(sum(values) / len(values), 3) if values else None
+
     rows: List[Dict[str, object]] = []
     for delay in delays:
         for n in sizes:
-            detect: List[float] = []
-            exclude: List[float] = []
-            include: List[float] = []
-            for seed in sweep_seeds():
-                result = run_attack_cell(
-                    n,
-                    attack_kind,
-                    delay,
-                    seed=seed,
-                    instances=instances,
-                    max_time=max_time,
-                )
-                if result.detect_time is not None:
-                    detect.append(result.detect_time)
-                if result.exclusion_time is not None:
-                    exclude.append(result.exclusion_time)
-                if result.inclusion_time is not None:
-                    include.append(result.inclusion_time)
+            group = [c for c in cells if c["delay"] == delay and c["n"] == n]
             rows.append(
                 {
                     "delay": delay,
                     "n": n,
-                    "detect_s": round(sum(detect) / len(detect), 3) if detect else None,
-                    "exclude_s": (
-                        round(sum(exclude) / len(exclude), 3) if exclude else None
+                    "detect_s": _mean(
+                        [c["detect_time_s"] for c in group if c["detect_time_s"] is not None]
                     ),
-                    "include_s": (
-                        round(sum(include) / len(include), 3) if include else None
+                    "exclude_s": _mean(
+                        [
+                            c["exclusion_time_s"]
+                            for c in group
+                            if c["exclusion_time_s"] is not None
+                        ]
+                    ),
+                    "include_s": _mean(
+                        [
+                            c["inclusion_time_s"]
+                            for c in group
+                            if c["inclusion_time_s"] is not None
+                        ]
                     ),
                 }
             )

@@ -19,11 +19,42 @@ from repro.analysis.zero_loss import (
 )
 from repro.common.config import FaultConfig
 from repro.experiments.common import attack_sizes, sweep_seeds
-from repro.experiments.fig4_disagreements import run_attack_cell
 
 #: Figure 6 sweeps uniform 500 ms and 1000 ms delays for both attacks.
 FIG6_DELAYS: Sequence[str] = ("500ms", "1000ms")
 FIG6_ATTACKS: Sequence[str] = ("binary", "rbbcast")
+
+
+def fig6_specs(
+    sizes: Optional[Sequence[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    attacks: Optional[Sequence[str]] = None,
+    deposit_factor: float = 0.1,
+    instances: int = 2,
+    max_time: float = 300.0,
+    seeds: Optional[Sequence[int]] = None,
+):
+    """Expand the Figure 6 sweep into scenario specs (single source of truth
+    for both :func:`run_fig6` and the registry's ``fig6`` family grid)."""
+    from repro.scenarios.registry import expand_grid
+
+    return [
+        spec.with_overrides(workload_transactions=12 * spec.n)
+        for spec in expand_grid(
+            "fig6",
+            {
+                "attack": tuple(attacks or FIG6_ATTACKS),
+                "cross_partition_delay": tuple(delays or FIG6_DELAYS),
+                "n": tuple(sizes or attack_sizes()),
+                "seed": tuple(seeds or sweep_seeds()),
+            },
+            base={
+                "instances": instances,
+                "max_time": max_time,
+                "params": {"deposit_factor": deposit_factor},
+            },
+        )
+    ]
 
 
 def run_fig6(
@@ -34,28 +65,41 @@ def run_fig6(
     instances: int = 2,
     max_time: float = 300.0,
 ) -> List[Dict[str, object]]:
-    """Minimum blockdepth per (attack, delay, n) with D = G/10."""
-    sizes = sizes or attack_sizes()
-    delays = delays or FIG6_DELAYS
-    attacks = attacks or FIG6_ATTACKS
+    """Minimum blockdepth per (attack, delay, n) with D = G/10.
+
+    Declared through the scenario registry (family ``fig6``): one attack cell
+    per (attack, delay, n, seed); this wrapper pools the per-seed disagreement
+    counts into one rho estimate per (attack, delay, n) row.
+    """
+    from repro.scenarios.runner import run_specs
+
+    sizes = list(sizes or attack_sizes())
+    delays = list(delays or FIG6_DELAYS)
+    attacks = list(attacks or FIG6_ATTACKS)
+    cells = run_specs(
+        fig6_specs(
+            sizes,
+            delays,
+            attacks,
+            deposit_factor=deposit_factor,
+            instances=instances,
+            max_time=max_time,
+        )
+    )
     rows: List[Dict[str, object]] = []
     for attack in attacks:
         for delay in delays:
             for n in sizes:
+                group = [
+                    c
+                    for c in cells
+                    if c["attack"] == attack and c["delay"] == delay and c["n"] == n
+                ]
                 fault_config = FaultConfig.paper_attack(n)
-                attacked_instances = 0
-                disagreement_instances = 0
-                for seed in sweep_seeds():
-                    result = run_attack_cell(
-                        n,
-                        attack,
-                        delay,
-                        seed=seed,
-                        instances=instances,
-                        max_time=max_time,
-                    )
-                    attacked_instances += instances
-                    disagreement_instances += len(result.disagreement_instances)
+                attacked_instances = sum(c["instances"] for c in group)
+                disagreement_instances = sum(
+                    c["disagreement_instances"] for c in group
+                )
                 rho = attack_success_probability(
                     disagreement_instances, attacked_instances
                 )

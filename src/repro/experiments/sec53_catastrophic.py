@@ -13,10 +13,36 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import attack_sizes, sweep_seeds
-from repro.experiments.fig4_disagreements import run_attack_cell
 
 #: Catastrophic cross-partition delays of §5.3.
 CATASTROPHIC_DELAYS: Sequence[str] = ("5000ms", "10000ms")
+
+
+def sec53_specs(
+    sizes: Optional[Sequence[int]] = None,
+    delays: Optional[Sequence[str]] = None,
+    attacks: Sequence[str] = ("binary", "rbbcast"),
+    instances: int = 3,
+    max_time: float = 600.0,
+    seeds: Optional[Sequence[int]] = None,
+):
+    """Expand the §5.3 sweep into scenario specs (single source of truth for
+    both :func:`run_sec53` and the registry's ``sec53`` family grid)."""
+    from repro.scenarios.registry import expand_grid
+
+    return [
+        spec.with_overrides(workload_transactions=12 * spec.n)
+        for spec in expand_grid(
+            "sec53",
+            {
+                "attack": tuple(attacks),
+                "cross_partition_delay": tuple(delays or CATASTROPHIC_DELAYS),
+                "n": tuple(sizes or attack_sizes()),
+                "seed": tuple(seeds or sweep_seeds()),
+            },
+            base={"instances": instances, "max_time": max_time},
+        )
+    ]
 
 
 def run_sec53(
@@ -26,24 +52,29 @@ def run_sec53(
     instances: int = 3,
     max_time: float = 600.0,
 ) -> List[Dict[str, object]]:
-    """Disagreements per (attack, delay, n) under catastrophic delays."""
-    sizes = sizes or attack_sizes()
-    delays = delays or CATASTROPHIC_DELAYS
+    """Disagreements per (attack, delay, n) under catastrophic delays.
+
+    Declared through the scenario registry (family ``sec53``); the wrapper
+    reports the worst seed per (attack, delay, n), matching the paper's
+    "up to N disagreeing proposals" phrasing.
+    """
+    from repro.scenarios.runner import run_specs
+
+    sizes = list(sizes or attack_sizes())
+    delays = list(delays or CATASTROPHIC_DELAYS)
+    attacks = list(attacks)
+    cells = run_specs(
+        sec53_specs(sizes, delays, attacks, instances=instances, max_time=max_time)
+    )
     rows: List[Dict[str, object]] = []
     for attack in attacks:
         for delay in delays:
             for n in sizes:
-                counts: List[int] = []
-                for seed in sweep_seeds():
-                    result = run_attack_cell(
-                        n,
-                        attack,
-                        delay,
-                        seed=seed,
-                        instances=instances,
-                        max_time=max_time,
-                    )
-                    counts.append(result.disagreements)
+                counts = [
+                    c["disagreements"]
+                    for c in cells
+                    if c["attack"] == attack and c["delay"] == delay and c["n"] == n
+                ]
                 rows.append(
                     {
                         "attack": attack,

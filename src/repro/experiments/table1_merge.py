@@ -45,18 +45,37 @@ def merge_two_blocks(num_transactions: int, seed: int = 0) -> float:
     return elapsed
 
 
+def table1_specs(
+    sizes: Sequence[int] = TABLE1_SIZES, seeds: Sequence[int] = (0, 1, 2)
+):
+    """Expand the Table 1 sweep into scenario specs (single source of truth
+    for both :func:`run_table1` and the registry's ``table1`` family grid)."""
+    from repro.scenarios.registry import expand_grid
+
+    return expand_grid("table1", {"blocksize": tuple(sizes), "seed": tuple(seeds)})
+
+
 def run_table1(
     sizes: Sequence[int] = TABLE1_SIZES, repetitions: int = 3
 ) -> List[Dict[str, float]]:
-    """Table 1 rows: block size -> merge time in milliseconds (best of N)."""
+    """Table 1 rows: block size -> merge time in milliseconds (best of N).
+
+    Declared through the scenario registry (family ``table1``): one cell per
+    (block size, repetition seed), aggregated here into best/mean times.
+    """
+    from repro.scenarios.runner import run_specs
+
+    cells = run_specs(table1_specs(sizes, seeds=tuple(range(repetitions))))
     rows: List[Dict[str, float]] = []
     for size in sizes:
-        samples = [merge_two_blocks(size, seed=rep) for rep in range(repetitions)]
+        samples = [
+            c["merge_time_ms"] for c in cells if c["blocksize_txs"] == size
+        ]
         rows.append(
             {
                 "blocksize_txs": size,
-                "merge_time_ms": round(min(samples) * 1000, 3),
-                "mean_merge_time_ms": round(sum(samples) / len(samples) * 1000, 3),
+                "merge_time_ms": round(min(samples), 3),
+                "mean_merge_time_ms": round(sum(samples) / len(samples), 3),
             }
         )
     return rows

@@ -179,6 +179,74 @@ class AwsRegionDelay(DelayModel):
         return total / count
 
 
+class HighJitterDelay(DelayModel):
+    """Mostly-fast links that spike by hundreds of milliseconds.
+
+    A two-mode mixture: with probability ``spike_probability`` the delay is
+    drawn uniformly around ``spike_mean`` (a congested or rerouted path),
+    otherwise from a Gamma base (a healthy Internet path).  Stresses timeout
+    handling and desynchronises replicas far more than any stationary model
+    with the same mean.
+    """
+
+    def __init__(
+        self,
+        base_mean: float = 0.02,
+        spike_probability: float = 0.2,
+        spike_mean: float = 0.5,
+    ):
+        if not 0 <= spike_probability <= 1:
+            raise ConfigurationError("spike_probability must be within [0, 1]")
+        if base_mean <= 0 or spike_mean <= 0:
+            raise ConfigurationError("jitter delay means must be positive")
+        self.base = GammaDelay(mean_seconds=base_mean)
+        self.spike_probability = spike_probability
+        self.spike = UniformDelay.from_mean(spike_mean)
+
+    def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
+        if rng.random() < self.spike_probability:
+            return self.spike.sample(sender, recipient, rng)
+        return self.base.sample(sender, recipient, rng)
+
+    def mean_delay(self) -> float:
+        p = self.spike_probability
+        return (1 - p) * self.base.mean_delay() + p * self.spike.mean_delay()
+
+
+class LossyDelay(DelayModel):
+    """A lossy network: a fraction of messages never arrives.
+
+    The simulator has no drop hook in the delay path, so a loss is modelled as
+    a delay beyond any simulation horizon (``drop_delay`` defaults to ~31
+    years): the event stays queued but is never processed.  Protocols built on
+    retransmission-free quorums (like the ones here) survive moderate loss
+    because quorums only need ``2n/3 + 1`` of the ``n`` copies.
+    """
+
+    def __init__(
+        self,
+        base: Optional[DelayModel] = None,
+        loss_rate: float = 0.05,
+        drop_delay: float = 1e9,
+    ):
+        if not 0 <= loss_rate < 1:
+            raise ConfigurationError("loss_rate must be within [0, 1)")
+        if drop_delay <= 0:
+            raise ConfigurationError("drop_delay must be positive")
+        self.base = base or GammaDelay()
+        self.loss_rate = loss_rate
+        self.drop_delay = drop_delay
+
+    def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
+        if rng.random() < self.loss_rate:
+            return self.drop_delay
+        return self.base.sample(sender, recipient, rng)
+
+    def mean_delay(self) -> float:
+        # The mean of *delivered* messages: drops never count as latency.
+        return self.base.mean_delay()
+
+
 class PartitionedDelay(DelayModel):
     """Attack-scenario delays: slow down honest cross-partition links only.
 
@@ -212,7 +280,7 @@ def delay_model_from_name(name: str) -> DelayModel:
 
     Accepted names: ``"aws"`` / ``"aws-like"``, ``"gamma"``, ``"200ms"``,
     ``"500ms"``, ``"1000ms"``, ``"5000ms"``, ``"10000ms"`` (uniform with that
-    mean) and ``"constant"``.
+    mean), ``"constant"``, ``"jitter"`` / ``"high-jitter"`` and ``"lossy"``.
     """
     key = name.strip().lower()
     if key in ("aws", "aws-like", "awslike"):
@@ -221,6 +289,10 @@ def delay_model_from_name(name: str) -> DelayModel:
         return GammaDelay()
     if key == "constant":
         return ConstantDelay()
+    if key in ("jitter", "high-jitter", "highjitter"):
+        return HighJitterDelay()
+    if key == "lossy":
+        return LossyDelay()
     if key.endswith("ms"):
         try:
             mean_ms = float(key[:-2])

@@ -282,13 +282,16 @@ class NetworkSimulator:
             if event.time > deadline:
                 break
             heapq.heappop(self._queue)
+            if event.kind == _Event.TIMER:
+                # Drop the bookkeeping entry whether the timer fires or was
+                # cancelled — cancelled entries must not outlive their event.
+                self._timers.pop(event.seq, None)
             if event.cancelled:
                 continue
             self._now = max(self._now, event.time)
             processed += 1
             self.events_processed += 1
             if event.kind == _Event.TIMER:
-                self._timers.pop(event.seq, None)
                 assert event.callback is not None
                 event.callback()
             else:

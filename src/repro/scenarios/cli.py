@@ -1,0 +1,150 @@
+"""Command-line interface of the scenario subsystem.
+
+::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run fig3 --scale small
+    python -m repro.scenarios sweep fig4 --scale small --jobs 2 --out results.jsonl
+
+``list`` shows every registered family with its cell counts; ``run`` executes
+one family and prints the result rows as a table; ``sweep`` executes one or
+more families against a JSONL :class:`ResultStore`, so re-running the same
+sweep serves every already-computed cell from cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import format_table
+from repro.common.errors import ConfigurationError
+from repro.scenarios import registry
+from repro.scenarios.runner import RunOutcome, ScenarioRunner
+from repro.scenarios.store import ResultStore
+
+DEFAULT_OUT = "scenario-results.jsonl"
+
+
+def _progress(outcome: RunOutcome, completed: int, total: int) -> None:
+    status = "cache" if outcome.cached else f"{outcome.wall_clock_s:6.1f}s"
+    print(f"[{completed:>3}/{total}] {status}  {outcome.spec.label()}", flush=True)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for family in registry.iter_families():
+        rows.append(
+            {
+                "family": family.name,
+                "cells_small": len(family.expand("small")),
+                "cells_full": len(family.expand("full")),
+                "tags": ",".join(family.tags),
+                "description": family.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _run_families(
+    families: List[str],
+    scale: str,
+    jobs: int,
+    store: Optional[ResultStore],
+    quiet: bool,
+    print_rows: bool = False,
+) -> int:
+    for name in families:
+        specs = registry.expand(name, scale)
+        runner = ScenarioRunner(
+            store=store, jobs=jobs, progress=None if quiet else _progress
+        )
+        report = runner.run(specs)
+        print(
+            f"{name}: {len(specs)} cells — {report.cache_hits} cache hits, "
+            f"{report.executed} executed in {report.wall_clock_s:.1f}s wall-clock"
+        )
+        if print_rows:
+            print(format_table(report.rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out) if args.out else None
+    return _run_families(
+        [args.family], args.scale, args.jobs, store, args.quiet, print_rows=True
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out)
+    code = _run_families(args.families, args.scale, args.jobs, store, args.quiet)
+    print(f"results: {store.path} ({len(store)} cells cached)")
+    return code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="List and run declarative ZLB scenario sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered scenario families").set_defaults(
+        func=_cmd_list
+    )
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scale",
+            choices=("small", "full"),
+            default="small",
+            help="sweep grid scale (default: small)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes (default: 1 = serial)",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress per-cell progress lines"
+        )
+
+    run = sub.add_parser("run", help="run one family and print its rows")
+    run.add_argument("family", help="scenario family name (see `list`)")
+    add_run_options(run)
+    run.add_argument(
+        "--out",
+        default=None,
+        help="optional JSONL result store (enables caching)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run one or more families against a JSONL result store"
+    )
+    sweep.add_argument("families", nargs="+", help="scenario family names")
+    add_run_options(sweep)
+    sweep.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"JSONL result store path (default: {DEFAULT_OUT})",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ConfigurationError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,544 @@
+"""The built-in scenario library.
+
+Registers every experiment of the paper as a declarative scenario family —
+``fig3`` .. ``fig6``, ``table1``, ``appendix-b``, ``sec53`` and the
+``quickstart`` walkthrough — plus three families the paper does not plot:
+
+* ``churn`` — committee churn under repeated membership changes: consecutive
+  attack/recovery rounds, measuring how exclusion/inclusion costs accumulate;
+* ``crash-recovery`` — honest replicas crash mid-run (``disconnect``) and come
+  back (``reconnect``); the committee must keep committing through the outage;
+* ``jitter-stress`` — fault-free committees under the high-jitter and lossy
+  delay models, measuring throughput degradation relative to the calm
+  ``gamma`` baseline.
+
+Every family follows the same contract: a grid builder expands
+``sizes x seeds x attack variants`` for a scale (``small`` keeps cells
+laptop-sized, ``full`` matches the paper), and a cell runner turns one
+:class:`ScenarioSpec` into a flat JSON-serialisable row.  Rows carry the cell
+axes (``n``, ``seed``, ``delay``/``attack`` where relevant) so aggregation
+(means over seeds, figure tables) can happen downstream without re-running.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from repro.scenarios.registry import expand_grid, scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _attack_sizes(scale: str) -> List[int]:
+    from repro.experiments.common import attack_sizes
+
+    return attack_sizes(scale)
+
+
+def _figure_sizes(scale: str) -> List[int]:
+    from repro.experiments.common import figure_sizes
+
+    return figure_sizes(scale)
+
+
+def _sweep_seeds(scale: str) -> List[int]:
+    from repro.experiments.common import sweep_seeds
+
+    return sweep_seeds(scale)
+
+
+def _metrics_row(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.zlb.system.SystemResult` into a plain row."""
+    return result.to_metrics().to_row()
+
+
+def _run_attack_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Shared cell body of every coalition-attack family."""
+    from repro.experiments.fig4_disagreements import run_attack_cell
+
+    result = run_attack_cell(
+        n=spec.n,
+        attack_kind=spec.attack or "binary",
+        cross_partition_delay=spec.cross_partition_delay or "1000ms",
+        seed=spec.seed,
+        instances=spec.instances,
+        max_time=spec.max_time,
+        benign=spec.benign,
+        deceitful=spec.deceitful,
+        delay=spec.delay,
+        # 0 means "family default" (the paper's 12 transfers per replica).
+        workload_transactions=spec.workload_transactions or None,
+        batch_size=spec.batch_size,
+    )
+    row = _metrics_row(result)
+    row.update(
+        {
+            "attack": spec.attack or "binary",
+            "delay": spec.cross_partition_delay or "1000ms",
+            "seed": spec.seed,
+            "instances": spec.instances,
+            "recovered": result.recovered,
+        }
+    )
+    return row
+
+
+# -- paper families ------------------------------------------------------------
+
+
+def _fig3_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.fig3_throughput import fig3_specs
+
+    return fig3_specs(sizes=_figure_sizes(scale))
+
+
+@scenario(
+    "fig3",
+    description="Throughput of ZLB vs Polygraph/HotStuff/Red Belly (phase model)",
+    grid=_fig3_grid,
+    tags=("paper", "model"),
+)
+def _run_fig3_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    from repro.analysis.throughput import ThroughputModel, available_protocols
+    from repro.network.delays import AwsRegionDelay
+
+    model = ThroughputModel(AwsRegionDelay())
+    row: Dict[str, Any] = {"n": spec.n}
+    for protocol in available_protocols():
+        row[protocol] = round(model.throughput(protocol, spec.n), 1)
+    row["zlb_vs_hotstuff"] = round(row["ZLB"] / row["HotStuff"], 2)
+    return row
+
+
+def _fig4_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.fig4_disagreements import fig4_specs
+
+    return [
+        spec
+        for attack in ("binary", "rbbcast")
+        for spec in fig4_specs(
+            attack,
+            sizes=_attack_sizes(scale),
+            seeds=_sweep_seeds(scale),
+        )
+    ]
+
+
+@scenario(
+    "fig4",
+    description="Disagreeing decisions per committee size under both attacks",
+    grid=_fig4_grid,
+    tags=("paper", "attack"),
+)
+def _run_fig4_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    return _run_attack_spec(spec)
+
+
+def _fig5_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.fig5_membership import fig5_specs
+
+    return fig5_specs(sizes=_attack_sizes(scale), seeds=_sweep_seeds(scale))
+
+
+@scenario(
+    "fig5",
+    description="Detect / exclude / include times of the membership change",
+    grid=_fig5_grid,
+    tags=("paper", "attack"),
+)
+def _run_fig5_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    return _run_attack_spec(spec)
+
+
+def _fig6_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.fig6_blockdepth import fig6_specs
+
+    return fig6_specs(sizes=_attack_sizes(scale), seeds=_sweep_seeds(scale))
+
+
+@scenario(
+    "fig6",
+    description="Minimum finalization blockdepth for zero loss (D = G/10)",
+    grid=_fig6_grid,
+    tags=("paper", "attack", "analysis"),
+)
+def _run_fig6_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    from repro.analysis.zero_loss import (
+        attack_success_probability,
+        branch_bound,
+        minimum_blockdepth,
+    )
+
+    row = _run_attack_spec(spec)
+    fault_config = spec.fault_config()
+    rho = attack_success_probability(
+        row["disagreement_instances"], spec.instances
+    )
+    branches = branch_bound(spec.n, fault_config.deceitful)
+    row.update(
+        {
+            "estimated_rho": round(rho, 3),
+            "branches": branches,
+            "min_blockdepth": minimum_blockdepth(
+                a=branches, b=spec.param("deposit_factor", 0.1), rho=rho
+            ),
+        }
+    )
+    return row
+
+
+def _table1_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.table1_merge import TABLE1_SIZES, table1_specs
+
+    sizes = tuple(TABLE1_SIZES) if scale == "full" else tuple(TABLE1_SIZES[:2])
+    seeds = (0, 1, 2) if scale == "full" else (0,)
+    return table1_specs(sizes, seeds=seeds)
+
+
+@scenario(
+    "table1",
+    description="Local wall-clock time to merge two fully-conflicting blocks",
+    grid=_table1_grid,
+    tags=("paper", "local"),
+)
+def _run_table1_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    from repro.experiments.table1_merge import merge_two_blocks
+
+    blocksize = spec.param("blocksize", 100)
+    elapsed = merge_two_blocks(blocksize, seed=spec.seed)
+    return {
+        "blocksize_txs": blocksize,
+        "seed": spec.seed,
+        "merge_time_ms": round(elapsed * 1000, 3),
+    }
+
+
+def _appendix_b_grid(scale: str) -> List[ScenarioSpec]:
+    cases = (
+        {"delta": 0.5, "rho": 0.55},
+        {"delta": 0.5, "rho": 0.9},
+        {"delta": 0.6, "rho": 0.9},
+        {"delta": 0.64, "rho": 0.9},
+        {"delta": 0.66, "rho": 0.9},
+    )
+    return [
+        ScenarioSpec(
+            family="appendix-b",
+            n=900,
+            params={"delta": case["delta"], "rho": case["rho"], "deposit_factor": 0.1},
+            seed=0,
+        )
+        for case in cases
+    ]
+
+
+@scenario(
+    "appendix-b",
+    description="Appendix B closed-form (delta, rho) -> minimum blockdepth table",
+    grid=_appendix_b_grid,
+    tags=("paper", "theory"),
+)
+def _run_appendix_b_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    from repro.analysis.zero_loss import branch_bound, minimum_blockdepth
+
+    delta = spec.param("delta")
+    rho = spec.param("rho")
+    deceitful = int(round(delta * spec.n))
+    branches = branch_bound(spec.n, deceitful)
+    return {
+        "delta": delta,
+        "rho": rho,
+        "branches": branches,
+        "min_blockdepth": minimum_blockdepth(
+            a=branches, b=spec.param("deposit_factor", 0.1), rho=rho
+        ),
+    }
+
+
+def _sec53_grid(scale: str) -> List[ScenarioSpec]:
+    from repro.experiments.sec53_catastrophic import sec53_specs
+
+    return sec53_specs(sizes=_attack_sizes(scale), seeds=_sweep_seeds(scale))
+
+
+@scenario(
+    "sec53",
+    description="Disagreements under catastrophic 5-10 s partition delays",
+    grid=_sec53_grid,
+    tags=("paper", "attack"),
+)
+def _run_sec53_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    return _run_attack_spec(spec)
+
+
+def _quickstart_grid(scale: str) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            family="quickstart",
+            n=7,
+            delay="aws",
+            workload_transactions=200,
+            batch_size=25,
+            instances=3,
+            seed=42,
+            max_time=120.0,
+        )
+    ]
+
+
+@scenario(
+    "quickstart",
+    description="Fault-free 7-replica committee committing client payments",
+    grid=_quickstart_grid,
+    tags=("example",),
+)
+def _run_quickstart_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    from repro.zlb.system import ZLBSystem
+
+    system = ZLBSystem.create(
+        spec.fault_config(),
+        seed=spec.seed,
+        delay=spec.delay,
+        workload_transactions=spec.workload_transactions,
+        batch_size=spec.batch_size,
+        max_time=spec.max_time,
+    )
+    result = system.run_instances(spec.instances, until=spec.max_time)
+    row = _metrics_row(result)
+    row.update({"seed": spec.seed, "delay": spec.delay})
+    return row
+
+
+# -- non-paper families --------------------------------------------------------
+
+
+def _churn_grid(scale: str) -> List[ScenarioSpec]:
+    if scale == "full":
+        axes = {"n": (20, 40), "rounds": (3, 5), "seed": (1, 2, 3)}
+    else:
+        axes = {"n": (9,), "rounds": (2, 3), "seed": (1,)}
+    return [
+        spec.with_overrides(workload_transactions=12 * spec.n)
+        for spec in expand_grid(
+            "churn",
+            axes,
+            base={
+                "attack": "binary",
+                "cross_partition_delay": "1000ms",
+                "instances": 2,
+                "max_time": 300.0,
+            },
+        )
+    ]
+
+
+@scenario(
+    "churn",
+    description="Committee churn: repeated attack -> membership-change rounds",
+    grid=_churn_grid,
+    tags=("extra", "attack", "membership"),
+)
+def _run_churn_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Back-to-back recovery rounds on successive committees.
+
+    Each round deploys the paper's coalition on a fresh committee (the
+    post-recovery committee of round ``k`` seeds round ``k+1`` via the seed
+    offset) and runs until the membership change completes, accumulating how
+    churn costs — excluded/included replicas, exclusion and inclusion
+    durations — behave when membership changes happen repeatedly rather than
+    once.
+    """
+    from repro.experiments.fig4_disagreements import run_attack_cell
+
+    rounds = int(spec.param("rounds", 2))
+    recovered_rounds = 0
+    total_excluded = 0
+    total_included = 0
+    exclusion_times: List[float] = []
+    inclusion_times: List[float] = []
+    disagreements = 0
+    committed = 0
+    simulated = 0.0
+    for round_index in range(rounds):
+        result = run_attack_cell(
+            n=spec.n,
+            attack_kind=spec.attack or "binary",
+            cross_partition_delay=spec.cross_partition_delay or "1000ms",
+            seed=spec.seed + 1_000 * round_index,
+            instances=spec.instances,
+            max_time=spec.max_time,
+            delay=spec.delay,
+            workload_transactions=spec.workload_transactions or None,
+            batch_size=spec.batch_size,
+        )
+        recovered_rounds += int(result.recovered)
+        total_excluded += len(result.excluded)
+        total_included += len(result.included)
+        if result.exclusion_time is not None:
+            exclusion_times.append(result.exclusion_time)
+        if result.inclusion_time is not None:
+            inclusion_times.append(result.inclusion_time)
+        disagreements += result.disagreements
+        committed += result.committed_transactions
+        simulated += result.simulated_time
+    return {
+        "n": spec.n,
+        "seed": spec.seed,
+        "rounds": rounds,
+        "recovered_rounds": recovered_rounds,
+        "excluded_total": total_excluded,
+        "included_total": total_included,
+        "mean_exclusion_s": (
+            round(sum(exclusion_times) / len(exclusion_times), 3)
+            if exclusion_times
+            else None
+        ),
+        "mean_inclusion_s": (
+            round(sum(inclusion_times) / len(inclusion_times), 3)
+            if inclusion_times
+            else None
+        ),
+        "disagreements_total": disagreements,
+        "committed_transactions": committed,
+        "simulated_time_s": round(simulated, 3),
+    }
+
+
+def _crash_recovery_grid(scale: str) -> List[ScenarioSpec]:
+    if scale == "full":
+        axes = {"n": (10, 20), "crashes": (1, 3), "seed": (1, 2, 3)}
+    else:
+        axes = {"n": (7, 10), "crashes": (1, 2), "seed": (1,)}
+    return expand_grid(
+        "crash-recovery",
+        axes,
+        base={
+            "delay": "aws",
+            "workload_transactions": 120,
+            "batch_size": 20,
+            "instances": 2,
+            "max_time": 120.0,
+        },
+    )
+
+
+@scenario(
+    "crash-recovery",
+    description="Honest replicas crash mid-run and reconnect; liveness holds",
+    grid=_crash_recovery_grid,
+    tags=("extra", "faults"),
+)
+def _run_crash_recovery_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Three phases: healthy -> ``crashes`` replicas disconnected -> rejoined.
+
+    Crashed replicas keep their deposits and state but drop every message
+    (the simulator's ``disconnect``); as long as ``crashes < n/3`` the
+    remaining quorum keeps deciding, and after ``reconnect`` the stragglers
+    rejoin the message flow.  The row records committed transactions after
+    each phase so throughput through the outage is visible.
+    """
+    from repro.zlb.system import ZLBSystem
+
+    crashes = int(spec.param("crashes", 1))
+    phase_instances = spec.instances
+    system = ZLBSystem.create(
+        spec.fault_config(),
+        seed=spec.seed,
+        delay=spec.delay,
+        workload_transactions=spec.workload_transactions,
+        batch_size=spec.batch_size,
+        max_time=spec.max_time,
+    )
+    healthy = system.run_instances(phase_instances, until=spec.max_time)
+    committee = sorted(
+        replica_id
+        for replica_id, replica in system.replicas.items()
+        if not replica.standby
+    )
+    crashed = committee[-crashes:]
+    for replica_id in crashed:
+        system.simulator.disconnect(replica_id)
+    # Fresh client traffic per phase: transfers routed to a crashed replica's
+    # mempool stall until it reconnects, so phase deltas show the outage cost.
+    system.submit_workload(spec.workload_transactions)
+    outage = system.run_instances(phase_instances, until=spec.max_time)
+    for replica_id in crashed:
+        system.simulator.reconnect(replica_id)
+    system.submit_workload(spec.workload_transactions)
+    final = system.run_instances(phase_instances, until=spec.max_time)
+
+    row = _metrics_row(final)
+    # run_instances reports cumulative commits; per-phase deltas are what a
+    # reader of "committed during the outage" expects.
+    committed_outage = outage.committed_transactions - healthy.committed_transactions
+    row.update(
+        {
+            "seed": spec.seed,
+            "crashes": crashes,
+            "crashed_replicas": list(crashed),
+            "committed_healthy": healthy.committed_transactions,
+            "committed_during_outage": committed_outage,
+            "committed_after_reconnect": (
+                final.committed_transactions - outage.committed_transactions
+            ),
+            "progress_during_outage": committed_outage > 0,
+        }
+    )
+    return row
+
+
+def _jitter_stress_grid(scale: str) -> List[ScenarioSpec]:
+    if scale == "full":
+        axes = {"delay": ("gamma", "jitter", "lossy"), "n": (10, 20, 40), "seed": (1, 2, 3)}
+    else:
+        axes = {"delay": ("gamma", "jitter", "lossy"), "n": (7,), "seed": (1,)}
+    return expand_grid(
+        "jitter-stress",
+        axes,
+        base={
+            "workload_transactions": 120,
+            "batch_size": 20,
+            "instances": 3,
+            "max_time": 300.0,
+        },
+    )
+
+
+@scenario(
+    "jitter-stress",
+    description="Fault-free throughput under high-jitter and lossy networks",
+    grid=_jitter_stress_grid,
+    tags=("extra", "network"),
+)
+def _run_jitter_stress_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    """One fault-free run under a hostile delay model.
+
+    ``gamma`` cells provide the calm baseline; ``jitter`` cells inject
+    multi-hundred-ms spikes on a fifth of the links and ``lossy`` cells drop
+    5% of all messages outright.  Quorum-based protocols should keep deciding
+    in all three, at degraded throughput.
+    """
+    from repro.zlb.system import ZLBSystem
+
+    start = time.perf_counter()
+    system = ZLBSystem.create(
+        spec.fault_config(),
+        seed=spec.seed,
+        delay=spec.delay,
+        workload_transactions=spec.workload_transactions,
+        batch_size=spec.batch_size,
+        max_time=spec.max_time,
+    )
+    result = system.run_instances(spec.instances, until=spec.max_time)
+    row = _metrics_row(result)
+    row.update(
+        {
+            "seed": spec.seed,
+            "delay": spec.delay,
+            "wall_clock_s": round(time.perf_counter() - start, 3),
+            # Lost messages are modelled as never-arriving events, so after the
+            # run they are exactly the ones still queued past the horizon.
+            "undelivered_messages": system.simulator.pending_events(),
+        }
+    )
+    return row

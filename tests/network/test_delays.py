@@ -10,6 +10,8 @@ from repro.network.delays import (
     AwsRegionDelay,
     ConstantDelay,
     GammaDelay,
+    HighJitterDelay,
+    LossyDelay,
     PartitionedDelay,
     UniformDelay,
     delay_model_from_name,
@@ -137,12 +139,56 @@ class TestPartitionedDelay:
         assert model.mean_delay() == 0.02
 
 
+class TestHighJitterDelay:
+    def test_mixture_has_two_modes(self):
+        rng = random.Random(1)
+        model = HighJitterDelay(base_mean=0.02, spike_probability=0.3, spike_mean=0.5)
+        samples = [model.sample(0, 1, rng) for _ in range(2_000)]
+        spikes = [s for s in samples if s > 0.2]
+        fast = [s for s in samples if s <= 0.2]
+        assert 0.2 < len(spikes) / len(samples) < 0.4
+        assert sum(fast) / len(fast) < 0.1
+
+    def test_mean_is_probability_weighted(self):
+        model = HighJitterDelay(base_mean=0.02, spike_probability=0.5, spike_mean=0.5)
+        assert model.mean_delay() == pytest.approx(0.5 * 0.02 + 0.5 * 0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HighJitterDelay(spike_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            HighJitterDelay(base_mean=0)
+
+
+class TestLossyDelay:
+    def test_losses_become_never_arriving_delays(self):
+        rng = random.Random(1)
+        model = LossyDelay(base=ConstantDelay(0.01), loss_rate=0.25, drop_delay=1e9)
+        samples = [model.sample(0, 1, rng) for _ in range(2_000)]
+        lost = sum(1 for s in samples if s == 1e9)
+        assert 0.2 < lost / len(samples) < 0.3
+        assert all(s == 0.01 for s in samples if s != 1e9)
+
+    def test_mean_counts_delivered_only(self):
+        model = LossyDelay(base=ConstantDelay(0.01), loss_rate=0.5)
+        assert model.mean_delay() == 0.01
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossyDelay(loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LossyDelay(drop_delay=0)
+
+
 class TestDelayModelFromName:
     def test_named_models(self):
         assert isinstance(delay_model_from_name("aws"), AwsRegionDelay)
         assert isinstance(delay_model_from_name("aws-like"), AwsRegionDelay)
         assert isinstance(delay_model_from_name("gamma"), GammaDelay)
         assert isinstance(delay_model_from_name("constant"), ConstantDelay)
+        assert isinstance(delay_model_from_name("jitter"), HighJitterDelay)
+        assert isinstance(delay_model_from_name("high-jitter"), HighJitterDelay)
+        assert isinstance(delay_model_from_name("lossy"), LossyDelay)
 
     def test_uniform_from_ms(self):
         model = delay_model_from_name("500ms")

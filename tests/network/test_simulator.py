@@ -142,6 +142,18 @@ class TestTimers:
         with pytest.raises(SimulationError):
             sim.schedule(-1, lambda: None)
 
+    def test_cancelled_timers_do_not_leak_bookkeeping(self):
+        """Regression: cancelled timer entries must leave ``_timers`` once
+        their event is popped, or long runs accumulate one dict entry per
+        cancelled timeout."""
+        sim = NetworkSimulator()
+        for _ in range(50):
+            timer_id = sim.schedule(0.1, lambda: None)
+            sim.cancel(timer_id)
+        sim.schedule(0.2, lambda: None)
+        sim.run()
+        assert sim._timers == {}
+
 
 class TestRunControl:
     def test_until_deadline(self):

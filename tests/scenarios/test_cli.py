@@ -1,0 +1,32 @@
+"""CLI surface: list / run / sweep."""
+
+from repro.scenarios.cli import main
+
+
+class TestList:
+    def test_lists_every_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "table1", "churn", "crash-recovery", "jitter-stress"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_rows(self, capsys):
+        assert main(["run", "appendix-b", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "min_blockdepth" in out
+        assert "5 cells" in out
+
+
+class TestSweep:
+    def test_sweep_caches_and_reports_hits(self, tmp_path, capsys):
+        out_path = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "fig3", "appendix-b", "--out", out_path, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+
+        assert main(["sweep", "fig3", "appendix-b", "--out", out_path, "--quiet"]) == 0
+        second = capsys.readouterr().out
+        assert "fig3: 5 cells — 5 cache hits, 0 executed" in second
+        assert "appendix-b: 5 cells — 5 cache hits, 0 executed" in second

@@ -1,0 +1,110 @@
+"""Spec hashing, round-trips and derived configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import FaultConfig
+from repro.common.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _attack_spec(**overrides):
+    fields = dict(
+        family="fig4",
+        n=9,
+        attack="binary",
+        cross_partition_delay="1000ms",
+        instances=2,
+        seed=1,
+        max_time=300.0,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestHash:
+    def test_hash_is_stable_across_instances(self):
+        assert _attack_spec().spec_hash == _attack_spec().spec_hash
+
+    def test_hash_is_hex16(self):
+        digest = _attack_spec().spec_hash
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_every_field_changes_the_hash(self):
+        base = _attack_spec()
+        variants = [
+            _attack_spec(n=12),
+            _attack_spec(seed=2),
+            _attack_spec(attack="rbbcast"),
+            _attack_spec(cross_partition_delay="500ms"),
+            _attack_spec(instances=3),
+            _attack_spec(max_time=600.0),
+            _attack_spec(family="fig5"),
+            _attack_spec(params={"rounds": 3}),
+        ]
+        hashes = {base.spec_hash} | {variant.spec_hash for variant in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_param_order_does_not_change_the_hash(self):
+        a = _attack_spec(params={"x": 1, "y": 2})
+        b = _attack_spec(params=(("y", 2), ("x", 1)))
+        assert a.spec_hash == b.spec_hash
+
+    def test_hash_survives_json_round_trip(self):
+        spec = _attack_spec(params={"deposit_factor": 0.1})
+        assert ScenarioSpec.from_json(spec.to_json()).spec_hash == spec.spec_hash
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        spec = _attack_spec(params={"rounds": 2, "label": "x"})
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_identity(self):
+        spec = _attack_spec(deceitful=4, benign=1, enforce_model=False)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_schema_rejected(self):
+        data = _attack_spec().to_dict()
+        data["schema"] = 99
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec.from_dict(data)
+
+
+class TestDerivedConfig:
+    def test_attack_defaults_to_paper_coalition(self):
+        fault = _attack_spec(n=9).fault_config()
+        assert fault == FaultConfig.paper_attack(9)
+
+    def test_no_attack_defaults_to_honest(self):
+        fault = ScenarioSpec(family="quickstart", n=7).fault_config()
+        assert fault.deceitful == 0 and fault.honest == 7
+
+    def test_explicit_deceitful_wins(self):
+        fault = _attack_spec(deceitful=3).fault_config()
+        assert fault.deceitful == 3
+
+    def test_attack_spec_materialised(self):
+        attack = _attack_spec(attack="rbbcast").attack_spec()
+        assert attack.kind == "rbbcast"
+        assert attack.cross_partition_delay == "1000ms"
+        assert ScenarioSpec(family="fig3", n=10).attack_spec() is None
+
+    def test_param_lookup_and_overrides(self):
+        spec = _attack_spec(params={"rounds": 2})
+        assert spec.param("rounds") == 2
+        assert spec.param("missing", 7) == 7
+        bumped = spec.with_overrides(seed=5, params={"rounds": 3})
+        assert bumped.seed == 5
+        assert bumped.param("rounds") == 3
+        assert spec.param("rounds") == 2  # original untouched
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(family="")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _attack_spec().n = 10
