@@ -8,7 +8,7 @@ from repro.analysis.zero_loss import (
     minimum_blockdepth,
     tolerated_attack_probability,
 )
-from repro.analysis.metrics import RunMetrics, summarize_latencies
+from repro.analysis.metrics import RunMetrics, percentiles, summarize_latencies
 from repro.analysis.throughput import (
     ProtocolCostModel,
     ThroughputModel,
@@ -23,6 +23,7 @@ __all__ = [
     "minimum_blockdepth",
     "tolerated_attack_probability",
     "RunMetrics",
+    "percentiles",
     "summarize_latencies",
     "ProtocolCostModel",
     "ThroughputModel",

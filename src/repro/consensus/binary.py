@@ -61,6 +61,9 @@ class BinaryConsensus:
         self.host = host
         self.context = context
         self.on_decide = on_decide
+        # Telemetry (None when disabled); latency runs from first activity.
+        self._telemetry = host.telemetry
+        self._started_at: Optional[float] = None
         self.round = 0
         self.estimate: Optional[int] = None
         self.decided = False
@@ -91,6 +94,8 @@ class BinaryConsensus:
         if self.started:
             return
         self.started = True
+        if self._started_at is None:
+            self._started_at = self.host.now
         self.estimate = 1 if value else 0
         self._start_round(0)
 
@@ -138,6 +143,8 @@ class BinaryConsensus:
 
     def handle(self, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
         """Process a message of this instance."""
+        if self._started_at is None:
+            self._started_at = self.host.now
         if kind == self.BVAL:
             self._handle_bval(sender, body)
         elif kind == self.AUX:
@@ -259,6 +266,17 @@ class BinaryConsensus:
         self.decided = True
         self.decision = value
         self.decision_certificate = certificate
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.counter("consensus.binary.decided", value=value).inc()
+            telemetry.histogram("consensus.binary.rounds").observe(self.round + 1)
+            telemetry.histogram("consensus.binary.certificate_votes").observe(
+                len(certificate.votes)
+            )
+            if self._started_at is not None:
+                telemetry.histogram("consensus.binary.decide_s").observe(
+                    self.host.now - self._started_at
+                )
         decide_vote = make_vote(
             self.host, self.context, 0, VoteKind.DECIDE, value_digest(value)
         )

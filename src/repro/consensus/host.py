@@ -22,6 +22,12 @@ from repro.crypto.signatures import SignedPayload, Signer
 class ProtocolHost:
     """Interface a replica exposes to its protocol components."""
 
+    #: Telemetry registry of the run, or None when telemetry is disabled.
+    #: Components cache this once (``tel = host.telemetry``) and guard every
+    #: instrumented path with ``if tel is not None`` — the zero-overhead
+    #: contract of :mod:`repro.telemetry`.
+    telemetry: Optional[Any] = None
+
     # -- identity and committee ------------------------------------------------
 
     @property
@@ -102,6 +108,7 @@ class SimpleHost(ProtocolHost):
         self._signer = signer
         self._registry = registry
         self._transport = transport
+        self.telemetry = getattr(transport, "telemetry", None)
         self.decisions: Dict[str, Any] = {}
 
     @property

@@ -119,6 +119,11 @@ class SetByzantineConsensus:
         #: the common all-honest case includes every proposal (SBC throughput).
         self.zero_phase_grace = zero_phase_grace
         self.prefix = f"{protocol_prefix}:{instance}"
+        # Telemetry (None when disabled); the SBC latency runs from instance
+        # creation (the replica starts the instance when it proposes or first
+        # hears of it) to local decision, in simulated time.
+        self._telemetry = host.telemetry
+        self._created_at = host.now
         self.slots: Tuple[ReplicaId, ...] = tuple(sorted(host.committee()))
         self.decided = False
         self.decision: Optional[SBCDecision] = None
@@ -246,6 +251,17 @@ class SetByzantineConsensus:
             if self._bits[slot] == 1:
                 justification.extend(self._rbc[slot].collected_votes)
         self.decided = True
+        telemetry = self._telemetry
+        if telemetry is not None:
+            included = sum(1 for bit in self._bits.values() if bit == 1)
+            telemetry.counter("consensus.sbc.decided").inc()
+            telemetry.histogram("consensus.sbc.decide_s").observe(
+                self.host.now - self._created_at
+            )
+            telemetry.histogram("consensus.sbc.included_slots").observe(included)
+            telemetry.histogram("consensus.sbc.justification_votes").observe(
+                len(justification)
+            )
         self.decision = SBCDecision(
             instance=self.instance,
             bitmask=dict(self._bits),

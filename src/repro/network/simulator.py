@@ -21,7 +21,14 @@ from repro.common.config import SimulationConfig
 from repro.common.errors import SimulationError
 from repro.common.types import ReplicaId
 from repro.network.delays import ConstantDelay, DelayModel
-from repro.network.message import Message
+from repro.network.message import Message, estimate_size_bytes
+from repro.telemetry import core as telemetry_core
+from repro.telemetry.core import TelemetryRegistry, protocol_group
+
+#: Queue depth is sampled every this many processed events (power of two so
+#: the hot loop's modulo is a mask); sampling keeps enabled-mode overhead low
+#: while still tracing how the backlog evolves.
+QUEUE_DEPTH_SAMPLE_EVERY = 64
 
 
 class Process:
@@ -34,12 +41,16 @@ class Process:
     def __init__(self, replica_id: ReplicaId):
         self.replica_id = replica_id
         self._simulator: Optional["NetworkSimulator"] = None
+        #: Cached telemetry registry (or None when disabled); set at bind time
+        #: so hot protocol paths pay a plain attribute load plus a None check.
+        self.telemetry: Optional[TelemetryRegistry] = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def bind(self, simulator: "NetworkSimulator") -> None:
         """Attach the process to a simulator (called by ``add_process``)."""
         self._simulator = simulator
+        self.telemetry = simulator.telemetry
 
     @property
     def simulator(self) -> "NetworkSimulator":
@@ -147,9 +158,14 @@ class NetworkSimulator:
         self,
         delay_model: Optional[DelayModel] = None,
         config: Optional[SimulationConfig] = None,
+        telemetry: Optional[TelemetryRegistry] = None,
     ):
         self.delay_model = delay_model or ConstantDelay(0.01)
         self.config = config or SimulationConfig()
+        #: The run's telemetry registry, or None (disabled — the default).
+        #: Falls back to the registry installed by ``telemetry.activate`` so a
+        #: scenario cell can instrument the whole stack it builds.
+        self.telemetry = telemetry if telemetry is not None else telemetry_core.current()
         self.rng = random.Random(self.config.seed)
         self._queue: List[_Event] = []
         self._sequence = itertools.count()
@@ -210,11 +226,22 @@ class NetworkSimulator:
     def submit(self, message: Message) -> None:
         """Queue ``message`` for delivery after a sampled delay."""
         self.messages_sent += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            group = protocol_group(message.protocol)
+            telemetry.counter(
+                "net.messages_sent", protocol=group, kind=message.kind
+            ).inc()
+            telemetry.counter(
+                "net.bytes_sent", protocol=group, kind=message.kind
+            ).inc(estimate_size_bytes(message.body))
         if (
             message.sender in self._disconnected
             or message.recipient in self._disconnected
         ):
             self.messages_dropped += 1
+            if telemetry is not None:
+                telemetry.counter("net.messages_dropped").inc()
             return
         delay = self.delay_model.sample(message.sender, message.recipient, self.rng)
         if delay < 0:
@@ -276,6 +303,7 @@ class NetworkSimulator:
         self._start_processes()
         deadline = self.config.max_time if until is None else until
         budget = self.config.max_events if max_events is None else max_events
+        telemetry = self.telemetry
         processed = 0
         while self._queue and processed < budget:
             event = self._queue[0]
@@ -291,6 +319,11 @@ class NetworkSimulator:
             self._now = max(self._now, event.time)
             processed += 1
             self.events_processed += 1
+            if (
+                telemetry is not None
+                and self.events_processed % QUEUE_DEPTH_SAMPLE_EVERY == 0
+            ):
+                telemetry.histogram("net.queue_depth").observe(len(self._queue))
             if event.kind == _Event.TIMER:
                 assert event.callback is not None
                 event.callback()
@@ -309,12 +342,18 @@ class NetworkSimulator:
     def _deliver(self, message: Message) -> None:
         if message.recipient in self._disconnected:
             self.messages_dropped += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("net.messages_dropped").inc()
             return
         process = self._processes.get(message.recipient)
         if process is None:
             self.messages_dropped += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("net.messages_dropped").inc()
             return
         self.messages_delivered += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("net.messages_delivered").inc()
         process.on_message(message)
 
     def pending_events(self) -> int:

@@ -55,6 +55,10 @@ class ReliableBroadcast:
         self.on_deliver = on_deliver
         self.delivered = False
         self.delivered_value: Any = None
+        # Telemetry (None when disabled): phase latencies are measured in
+        # simulated time from the first local activity of the instance.
+        self._telemetry = host.telemetry
+        self._started_at: Optional[float] = None
         # Protocol state.
         self._echo_sent = False
         self._ready_sent = False
@@ -74,8 +78,17 @@ class ReliableBroadcast:
 
     # -- sending ----------------------------------------------------------------
 
+    def _mark_started(self) -> None:
+        if self._started_at is None:
+            self._started_at = self.host.now
+
+    def _observe_phase(self, name: str) -> None:
+        if self._telemetry is not None and self._started_at is not None:
+            self._telemetry.histogram(name).observe(self.host.now - self._started_at)
+
     def broadcast(self, value: Any) -> None:
         """Called by the proposer to disseminate ``value``."""
+        self._mark_started()
         digest = hash_payload(value)
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_INIT, digest)
         self.collected_votes.append(vote)
@@ -89,6 +102,7 @@ class ReliableBroadcast:
         if self._echo_sent:
             return
         self._echo_sent = True
+        self._observe_phase("rbc.init_to_echo_s")
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_ECHO, digest)
         self.collected_votes.append(vote)
         self.host.emit(
@@ -101,6 +115,7 @@ class ReliableBroadcast:
         if self._ready_sent:
             return
         self._ready_sent = True
+        self._observe_phase("rbc.init_to_ready_s")
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_READY, digest)
         self.collected_votes.append(vote)
         value = self._values.get(digest)
@@ -114,6 +129,7 @@ class ReliableBroadcast:
 
     def handle(self, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
         """Process a message of this instance."""
+        self._mark_started()
         if self.delivered:
             # Keep collecting signed votes after delivery: a deceitful replica
             # equivocating towards the other partition leaves its conflicting
@@ -208,4 +224,10 @@ class ReliableBroadcast:
         self.delivered = True
         self.delivered_value = self._values[digest]
         certificate = Certificate.from_votes(ready.values())
+        if self._telemetry is not None:
+            self._observe_phase("rbc.deliver_s")
+            self._telemetry.counter("rbc.delivered").inc()
+            self._telemetry.histogram("rbc.certificate_votes").observe(
+                len(certificate.votes)
+            )
         self.on_deliver(self.proposer, self.delivered_value, certificate)

@@ -5,11 +5,16 @@
     python -m repro.scenarios list
     python -m repro.scenarios run fig3 --scale small
     python -m repro.scenarios sweep fig4 --scale small --jobs 2 --out results.jsonl
+    python -m repro.scenarios sweep fig4 --telemetry --out results.jsonl
+    python -m repro.scenarios report results.jsonl --metric rbc
 
 ``list`` shows every registered family with its cell counts; ``run`` executes
 one family and prints the result rows as a table; ``sweep`` executes one or
 more families against a JSONL :class:`ResultStore`, so re-running the same
-sweep serves every already-computed cell from cache.
+sweep serves every already-computed cell from cache.  ``--telemetry``
+instruments every cell (per-protocol message counts, per-phase latency
+histograms, recovery timelines) and ``report`` renders the stored snapshots
+as comparative tables, optionally exporting them as CSV/JSON.
 """
 
 from __future__ import annotations
@@ -55,9 +60,13 @@ def _run_families(
     store: Optional[ResultStore],
     quiet: bool,
     print_rows: bool = False,
+    telemetry: bool = False,
+    report_telemetry: bool = False,
 ) -> int:
     for name in families:
         specs = registry.expand(name, scale)
+        if telemetry:
+            specs = [spec.with_overrides(telemetry=True) for spec in specs]
         runner = ScenarioRunner(
             store=store, jobs=jobs, progress=None if quiet else _progress
         )
@@ -68,21 +77,71 @@ def _run_families(
         )
         if print_rows:
             print(format_table(report.rows))
+        if report_telemetry:
+            # `run --telemetry` renders the snapshots inline: without a store
+            # they would otherwise be collected and silently discarded.
+            from repro.telemetry.report import render_report
+
+            records = [
+                {
+                    "family": outcome.spec.family,
+                    "spec": outcome.spec.to_dict(),
+                    "telemetry": outcome.telemetry,
+                }
+                for outcome in report.outcomes
+            ]
+            print(render_report(records))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.out) if args.out else None
     return _run_families(
-        [args.family], args.scale, args.jobs, store, args.quiet, print_rows=True
+        [args.family],
+        args.scale,
+        args.jobs,
+        store,
+        args.quiet,
+        print_rows=True,
+        telemetry=args.telemetry,
+        report_telemetry=args.telemetry,
     )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     store = ResultStore(args.out)
-    code = _run_families(args.families, args.scale, args.jobs, store, args.quiet)
+    code = _run_families(
+        args.families,
+        args.scale,
+        args.jobs,
+        store,
+        args.quiet,
+        telemetry=args.telemetry,
+    )
     print(f"results: {store.path} ({len(store)} cells cached)")
     return code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import snapshot_rows, write_csv, write_json
+    from repro.telemetry.report import render_report, telemetry_cells
+
+    store = ResultStore(args.store)
+    records = store.records(args.family)
+    print(render_report(records, metric_filter=args.metric))
+    cells = telemetry_cells(records)
+    if args.json and cells:
+        write_json([snapshot for _, snapshot in cells], args.json)
+        print(f"json: {args.json}")
+    if args.csv and cells:
+        rows = [
+            row
+            for label, snapshot in cells
+            for row in snapshot_rows(snapshot, cell=label)
+        ]
+        write_csv(rows, args.csv)
+        print(f"csv: {args.csv}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--quiet", action="store_true", help="suppress per-cell progress lines"
         )
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="instrument every cell and store telemetry snapshots "
+            "(see the `report` subcommand)",
+        )
 
     run = sub.add_parser("run", help="run one family and print its rows")
     run.add_argument("family", help="scenario family name (see `list`)")
@@ -134,6 +199,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"JSONL result store path (default: {DEFAULT_OUT})",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render comparative telemetry tables from a result store",
+    )
+    report.add_argument(
+        "store",
+        nargs="?",
+        default=DEFAULT_OUT,
+        help=f"JSONL result store to read (default: {DEFAULT_OUT})",
+    )
+    report.add_argument("--family", default=None, help="restrict to one family")
+    report.add_argument(
+        "--metric",
+        default=None,
+        help="substring filter on histogram/gauge metric names (e.g. 'rbc')",
+    )
+    report.add_argument("--csv", default=None, help="export flattened metrics as CSV")
+    report.add_argument(
+        "--json", default=None, help="export the raw snapshots as JSON"
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -144,6 +231,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ConfigurationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        # Point stdout at devnull so the interpreter-exit flush of the
+        # broken stream cannot re-raise (and flip the exit status to 120).
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.scenarios import registry
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore
+from repro.telemetry import core as telemetry_core
 
 ProgressCallback = Callable[["RunOutcome", int, int], None]
 
@@ -37,6 +38,8 @@ class RunOutcome:
     row: Dict[str, Any]
     cached: bool
     wall_clock_s: float
+    #: Telemetry snapshot of the cell (None unless ``spec.telemetry``).
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass
@@ -53,16 +56,27 @@ class SweepReport:
         return [outcome.row for outcome in self.outcomes]
 
 
-def _execute_cell(payload: str) -> Tuple[str, Dict[str, Any], float]:
+def _execute_cell(
+    payload: str,
+) -> Tuple[str, Dict[str, Any], float, Optional[Dict[str, Any]]]:
     """Worker entry point: run one spec from its JSON form.
 
     Module-level so ``multiprocessing`` can pickle it; returns the spec hash
     alongside the row so the parent can reorder results deterministically.
+    When the spec asks for telemetry, a fresh registry is activated around the
+    cell — every instrumented constructor below (simulators, ZLB systems)
+    picks it up — and its snapshot rides along with the row.
     """
     spec = ScenarioSpec.from_json(payload)
     start = time.perf_counter()
-    row = registry.run_spec(spec)
-    return spec.spec_hash, row, time.perf_counter() - start
+    if spec.telemetry:
+        with telemetry_core.activate(telemetry_core.TelemetryRegistry()) as active:
+            row = registry.run_spec(spec)
+        snapshot: Optional[Dict[str, Any]] = active.snapshot()
+    else:
+        row = registry.run_spec(spec)
+        snapshot = None
+    return spec.spec_hash, row, time.perf_counter() - start, snapshot
 
 
 class ScenarioRunner:
@@ -96,6 +110,7 @@ class ScenarioRunner:
                     row=dict(record["row"]),
                     cached=True,
                     wall_clock_s=0.0,
+                    telemetry=record.get("telemetry"),
                 )
                 completed += 1
                 self._notify(outcomes[index], completed, len(specs))
@@ -113,7 +128,12 @@ class ScenarioRunner:
             for index, outcome in results:
                 outcomes[index] = outcome
                 if self.store is not None:
-                    self.store.put(outcome.spec, outcome.row, outcome.wall_clock_s)
+                    self.store.put(
+                        outcome.spec,
+                        outcome.row,
+                        outcome.wall_clock_s,
+                        telemetry=outcome.telemetry,
+                    )
                 completed += 1
                 self._notify(outcome, completed, len(specs))
 
@@ -132,9 +152,13 @@ class ScenarioRunner:
         self, pending: Sequence[Tuple[int, ScenarioSpec]]
     ) -> Iterator[Tuple[int, RunOutcome]]:
         for index, spec in pending:
-            _, row, elapsed = _execute_cell(spec.to_json())
+            _, row, elapsed, snapshot = _execute_cell(spec.to_json())
             yield index, RunOutcome(
-                spec=spec, row=row, cached=False, wall_clock_s=elapsed
+                spec=spec,
+                row=row,
+                cached=False,
+                wall_clock_s=elapsed,
+                telemetry=snapshot,
             )
 
     def _run_parallel(
@@ -157,13 +181,16 @@ class ScenarioRunner:
         except ValueError:
             context = multiprocessing.get_context()
         with context.Pool(processes=min(self.jobs, len(pending))) as pool:
-            for spec_hash, row, elapsed in pool.imap_unordered(_execute_cell, payloads):
+            for spec_hash, row, elapsed, snapshot in pool.imap_unordered(
+                _execute_cell, payloads
+            ):
                 index = by_hash[spec_hash].pop(0)
                 yield index, RunOutcome(
                     spec=specs_by_index[index],
                     row=row,
                     cached=False,
                     wall_clock_s=elapsed,
+                    telemetry=snapshot,
                 )
 
     def _notify(self, outcome: RunOutcome, completed: int, total: int) -> None:

@@ -63,6 +63,11 @@ class ScenarioSpec:
         instances: consensus instances each active replica is asked to run.
         seed: seed for every random stream of the run.
         max_time: simulated-time stop condition in seconds.
+        telemetry: instrument the cell with a
+            :class:`~repro.telemetry.TelemetryRegistry`; the snapshot is
+            persisted next to the result row and rendered by
+            ``python -m repro.scenarios report``.  Part of the content hash,
+            so instrumented and bare runs of the same cell cache separately.
         params: extra family-specific knobs as sorted ``(key, value)`` pairs.
     """
 
@@ -79,6 +84,7 @@ class ScenarioSpec:
     instances: int = 2
     seed: int = 1
     max_time: float = 300.0
+    telemetry: bool = False
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -139,7 +145,18 @@ class ScenarioSpec:
     # -- serialisation ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form; JSON-serialisable and accepted by :meth:`from_dict`."""
+        """Plain-dict form; JSON-serialisable and accepted by :meth:`from_dict`.
+
+        The ``telemetry`` flag is only serialised when set, so bare
+        (uninstrumented) cells keep the hashes they had before the flag
+        existed and old result stores stay valid.
+        """
+        data = self._base_dict()
+        if self.telemetry:
+            data["telemetry"] = True
+        return data
+
+    def _base_dict(self) -> Dict[str, Any]:
         return {
             "schema": SPEC_SCHEMA_VERSION,
             "family": self.family,
@@ -200,6 +217,8 @@ class ScenarioSpec:
         for key, value in self.params:
             parts.append(f"{key}={value}")
         parts.append(f"seed={self.seed}")
+        if self.telemetry:
+            parts.append("telemetry")
         return " ".join(parts)
 
 

@@ -12,6 +12,7 @@ output artefact: ``rows()`` extracts plain result rows for tabulation.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 from typing import Any, Dict, Iterator, List, Optional, Union
@@ -65,6 +66,19 @@ class ResultStore:
         """Result rows of every cached cell, optionally filtered by family."""
         return [
             dict(record["row"])
+            for record in self.records(family)
+        ]
+
+    def records(self, family: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Full records (spec, row, telemetry, cost), optionally by family.
+
+        This is what ``python -m repro.scenarios report`` consumes: records of
+        telemetry-enabled cells carry the snapshot under ``"telemetry"``.
+        Records are deep copies — mutating them cannot corrupt the in-memory
+        cache index behind :meth:`get`.
+        """
+        return [
+            copy.deepcopy(record)
             for record in self._records()
             if family is None or record.get("family") == family
         ]
@@ -80,8 +94,14 @@ class ResultStore:
         spec: ScenarioSpec,
         row: Dict[str, Any],
         wall_clock_s: float = 0.0,
+        telemetry: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """Append one result record and index it."""
+        """Append one result record and index it.
+
+        ``telemetry`` is the cell's snapshot dict (only present for cells run
+        with ``spec.telemetry``); it is stored verbatim so reports can be
+        rendered from the JSONL file long after the sweep.
+        """
         record = {
             "hash": spec.spec_hash,
             "family": spec.family,
@@ -89,6 +109,8 @@ class ResultStore:
             "row": row,
             "wall_clock_s": round(float(wall_clock_s), 4),
         }
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)

@@ -182,6 +182,10 @@ class ASMRReplica(BaseReplica):
             return
         record.decision = decision
         record.decided_at = self.now
+        if self.telemetry is not None:
+            self.telemetry.histogram("asmr.instance_decide_s").observe(
+                record.decided_at - record.started_at
+            )
         if self.on_commit is not None:
             self.on_commit(decision.instance, decision)
         if self.config.confirmation_enabled:
@@ -229,8 +233,15 @@ class ASMRReplica(BaseReplica):
                 and len(record.matching_confirmations) + 1 >= self.confirmation_quorum()
             ):
                 record.confirmed_at = self.now
+                if self.telemetry is not None and record.decided_at is not None:
+                    self.telemetry.histogram("asmr.confirm_s").observe(
+                        record.confirmed_at - record.decided_at
+                    )
             return
         # Disagreement: another honest replica decided a different set.
+        if self.telemetry is not None and not record.conflicting_digests:
+            self.telemetry.counter("zlb.disagreement_instances").inc()
+            self.telemetry.timeline("zlb.recovery").mark("disagreement", self.now)
         record.conflicting_digests.add(str(remote_digest))
         self._record_disagreeing_slots(record, body)
         self._reconcile(record, body)
@@ -312,9 +323,17 @@ class ASMRReplica(BaseReplica):
         return recovery_threshold(self.committee_size())
 
     def _after_pof_update(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.gauge("zlb.pofs", replica=self.replica_id).set(
+                len(self.pofs)
+            )
         if self.pofs and self.detected_at is None:
             if len(self.pofs) >= self.pof_threshold():
                 self.detected_at = self.now
+                if self.telemetry is not None:
+                    self.telemetry.timeline("zlb.recovery").mark(
+                        "detected", self.detected_at
+                    )
         self._maybe_start_membership_change()
 
     # -- ③/④ membership change --------------------------------------------------------------------
@@ -333,6 +352,8 @@ class ASMRReplica(BaseReplica):
             for culprit, pof in self.pofs.items()
             if culprit in set(self.committee())
         }
+        if self.telemetry is not None:
+            self.telemetry.timeline("zlb.recovery").mark("exclusion_started", self.now)
         self.membership_change = MembershipChange(
             host=self,
             epoch=self.epoch,
@@ -356,6 +377,10 @@ class ASMRReplica(BaseReplica):
                 self._buffered_membership.append((protocol, sender, kind, body))
 
     def _on_membership_complete(self, outcome: MembershipOutcome) -> None:
+        if self.telemetry is not None:
+            timeline = self.telemetry.timeline("zlb.recovery")
+            timeline.mark("excluded", outcome.exclusion_decided_at)
+            timeline.mark("included", outcome.inclusion_decided_at)
         self.membership_outcomes.append(outcome)
         self.excluded_replicas.update(outcome.excluded)
         new_committee = [

@@ -98,6 +98,7 @@ class _RestrictedHost(ProtocolHost):
     def __init__(self, base: ProtocolHost, committee: Iterable[ReplicaId]):
         self._base = base
         self._committee = sorted(committee)
+        self.telemetry = base.telemetry
 
     @property
     def replica_id(self) -> ReplicaId:
@@ -208,6 +209,11 @@ class MembershipChange:
 
     def _on_exclusion_decided(self, decision: SBCDecision) -> None:
         self.exclusion_decided_at = self.host.now
+        telemetry = self.host.telemetry
+        if telemetry is not None:
+            telemetry.histogram("membership.exclusion_s").observe(
+                self.exclusion_decided_at - self.started_at
+            )
         culprit_set: Set[ReplicaId] = set()
         for payload_list in decision.decided_payloads():
             for payload in payload_list:
@@ -251,6 +257,13 @@ class MembershipChange:
         self.included = choose_included(len(self.excluded), decided_lists)
         self.pool.mark_included(self.included)
         assert self.exclusion_decided_at is not None
+        telemetry = self.host.telemetry
+        if telemetry is not None:
+            telemetry.histogram("membership.inclusion_s").observe(
+                self.host.now - self.exclusion_decided_at
+            )
+            telemetry.counter("membership.excluded_replicas").inc(len(self.excluded))
+            telemetry.counter("membership.included_replicas").inc(len(self.included))
         self.outcome = MembershipOutcome(
             epoch=self.epoch,
             excluded=list(self.excluded),

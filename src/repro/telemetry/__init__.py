@@ -1,0 +1,56 @@
+"""Zero-overhead-when-disabled telemetry and instrumentation.
+
+The measurement instrument of the reproduction: counters, gauges, latency
+histograms (p50/p95/p99 + mean/ci95) and cross-phase timelines, collected into
+a per-run :class:`TelemetryRegistry` and snapshotted as plain JSON.
+
+Design contract: instrumented code holds either a registry or ``None`` and
+guards every hot path with ``if telemetry is not None`` — disabling telemetry
+reduces instrumentation to a pointer comparison.  See
+:mod:`repro.telemetry.core` for the primitives, :mod:`repro.telemetry.export`
+for JSON/CSV exporters and :mod:`repro.telemetry.report` for the comparative
+sweep reports behind ``python -m repro.scenarios report``.
+
+Typical use::
+
+    from repro import telemetry
+
+    registry = telemetry.TelemetryRegistry()
+    with telemetry.activate(registry):
+        system = ZLBSystem.create(...)   # picks up the active registry
+        system.run_instances(2)
+    print(registry.snapshot()["histograms"])
+"""
+
+from repro.telemetry.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+    Timeline,
+    activate,
+    current,
+    metric_key,
+    protocol_group,
+    split_metric_key,
+)
+from repro.telemetry.export import snapshot_rows, write_csv, write_json
+from repro.telemetry.report import build_tables, render_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timeline",
+    "TelemetryRegistry",
+    "activate",
+    "current",
+    "metric_key",
+    "protocol_group",
+    "split_metric_key",
+    "snapshot_rows",
+    "write_csv",
+    "write_json",
+    "build_tables",
+    "render_report",
+]

@@ -1,0 +1,321 @@
+"""Telemetry primitives and the per-run registry.
+
+The subsystem follows one rule everywhere: **instrumented code holds either a
+real :class:`TelemetryRegistry` or ``None``**, and every hot-path site guards
+with ``if telemetry is not None``.  Disabled telemetry is therefore a single
+pointer comparison — no null-object method calls, no metric allocation, no
+string formatting — which is what lets the simulator, the broadcast layer and
+the consensus components stay permanently instrumented.
+
+Primitives:
+
+* :class:`Counter` — monotonically increasing count (messages, bytes, commits);
+* :class:`Gauge` — last-written value plus its observed min/max (queue depth,
+  mempool occupancy);
+* :class:`Histogram` — sample series summarised as count/mean/std/ci95 and
+  p50/p95/p99 (per-phase latencies, round counts, certificate sizes), using
+  the shared :func:`repro.analysis.metrics.percentiles` helper;
+* :class:`Timeline` — ordered ``(label, time)`` marks for cross-phase stories
+  such as the detection → exclusion → merge recovery of ZLB.
+
+Metrics are identified by name plus optional low-cardinality labels, created
+lazily on first touch and snapshotted into a plain JSON-serialisable dict that
+the scenario :class:`~repro.scenarios.store.ResultStore` persists next to each
+result row.
+
+A module-level *current registry* (:func:`activate` / :func:`current`) lets
+deep call stacks — e.g. a scenario cell runner three layers above
+``ZLBSystem.create`` — enable telemetry without threading the registry through
+every constructor.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+# NOTE: this module must not import other repro packages at module level —
+# the network simulator imports it, so a top-level import of e.g.
+# repro.analysis would close an import cycle.  Summaries import
+# repro.analysis.metrics lazily inside Histogram.snapshot instead.
+
+#: Labels are rendered into metric keys as ``name{k=v,k2=v2}``.
+MetricKey = str
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> MetricKey:
+    """Canonical string key of a metric: ``name`` plus sorted labels."""
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+def split_metric_key(key: MetricKey) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`metric_key` (labels come back as strings)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in rest.rstrip("}").split(","):
+        if "=" in pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value, plus the minimum and maximum ever written."""
+
+    __slots__ = ("value", "min", "max", "writes")
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.writes = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.writes += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "writes": self.writes,
+        }
+
+
+class Histogram:
+    """A series of samples summarised as mean/ci95 and p50/p95/p99.
+
+    Raw samples are retained (runs are short-lived and bounded), so the
+    snapshot can compute exact percentiles with the same
+    :func:`~repro.analysis.metrics.percentiles` helper the analysis layer
+    uses for latency tables.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def snapshot(self) -> Dict[str, float]:
+        from repro.analysis.metrics import summarize_latencies
+
+        summary = summarize_latencies(self.samples)
+        if self.samples:
+            summary["min"] = min(self.samples)
+            summary["max"] = max(self.samples)
+        else:
+            summary["min"] = 0.0
+            summary["max"] = 0.0
+        return summary
+
+
+class Timeline:
+    """Ordered ``(label, time)`` marks recording a cross-phase story.
+
+    Multiple replicas mark the same label (every honest replica detects the
+    coalition); :meth:`first` reduces that to the system-level time the event
+    first happened anywhere, which is what the paper's detect/exclude/merge
+    plots report.
+    """
+
+    __slots__ = ("marks",)
+
+    def __init__(self) -> None:
+        self.marks: List[Tuple[str, float]] = []
+
+    def mark(self, label: str, at: float) -> None:
+        self.marks.append((label, float(at)))
+
+    def first(self, label: str) -> Optional[float]:
+        """Earliest time ``label`` was marked, or None."""
+        times = [at for mark, at in self.marks if mark == label]
+        return min(times) if times else None
+
+    def labels(self) -> List[str]:
+        """Distinct labels in order of first occurrence."""
+        seen: List[str] = []
+        for label, _ in self.marks:
+            if label not in seen:
+                seen.append(label)
+        return seen
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "first": {label: self.first(label) for label in self.labels()},
+            "marks": len(self.marks),
+        }
+
+
+class TelemetryRegistry:
+    """All metrics of one run, created lazily and snapshotted as plain JSON."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        self._timelines: Dict[MetricKey, Timeline] = {}
+
+    # -- metric accessors ------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        return histogram
+
+    def timeline(self, name: str, **labels: Any) -> Timeline:
+        key = metric_key(name, labels)
+        timeline = self._timelines.get(key)
+        if timeline is None:
+            timeline = self._timelines[key] = Timeline()
+        return timeline
+
+    # -- scoped timing ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase_timer(
+        self,
+        name: str,
+        clock: Callable[[], float] = time.perf_counter,
+        **labels: Any,
+    ) -> Iterator[None]:
+        """Observe the duration of the enclosed block into a histogram.
+
+        ``clock`` defaults to wall-clock; pass a simulated clock (e.g.
+        ``lambda: host.now``) to time simulated phases instead.
+        """
+        started = clock()
+        try:
+            yield
+        finally:
+            self.histogram(name, **labels).observe(clock() - started)
+
+    # -- snapshot --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._timelines)
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict form of every metric (JSON-serialisable, sorted keys)."""
+        return {
+            "counters": {
+                key: self._counters[key].snapshot() for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key].snapshot() for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: self._histograms[key].snapshot()
+                for key in sorted(self._histograms)
+            },
+            "timelines": {
+                key: self._timelines[key].snapshot()
+                for key in sorted(self._timelines)
+            },
+        }
+
+
+# -- the current registry ------------------------------------------------------
+
+_CURRENT: Optional[TelemetryRegistry] = None
+
+
+def current() -> Optional[TelemetryRegistry]:
+    """The active registry installed by :func:`activate`, or ``None``.
+
+    Instrumented constructors (``NetworkSimulator``, ``ZLBSystem.create``)
+    default their ``telemetry`` argument to this, so activating a registry
+    around a scenario cell instruments the whole stack it builds.
+    """
+    return _CURRENT
+
+
+@contextlib.contextmanager
+def activate(registry: Optional[TelemetryRegistry]) -> Iterator[Optional[TelemetryRegistry]]:
+    """Install ``registry`` as the current registry for the enclosed block.
+
+    ``activate(None)`` explicitly disables telemetry for the block (useful to
+    shield a sub-run from an outer registry).
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    try:
+        yield registry
+    finally:
+        _CURRENT = previous
+
+
+def protocol_group(protocol: str) -> str:
+    """Low-cardinality protocol label for per-message counters.
+
+    Protocol instance names embed epochs, instances and slots
+    (``sbc.e0:3:rbc:5``, ``asmr:confirm:2``, ``excl:1:bin:4``); grouping
+    strips all of that so counters aggregate by protocol layer —
+    ``sbc:rbc``, ``sbc:bin``, ``excl:rbc``, ``asmr:confirm`` — instead of
+    exploding one counter per instance.
+    """
+    head, _, rest = protocol.partition(":")
+    # "sbc.e3" -> "sbc": the epoch is run-specific, not a layer.
+    head = head.partition(".")[0]
+    if ":rbc:" in protocol:
+        return f"{head}:rbc"
+    if ":bin:" in protocol:
+        return f"{head}:bin"
+    if head == "asmr":
+        sub = rest.partition(":")[0]
+        return f"asmr:{sub}" if sub else "asmr"
+    return head

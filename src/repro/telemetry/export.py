@@ -1,0 +1,150 @@
+"""Pluggable exporters for telemetry snapshots.
+
+A *snapshot* is the plain dict produced by
+:meth:`~repro.telemetry.core.TelemetryRegistry.snapshot`.  Exporters never
+touch live metric objects, so they work identically on a registry that just
+finished a run and on a snapshot replayed from a scenario result store.
+
+Two formats:
+
+* **JSON** — the snapshot verbatim (one object, or one object per cell when
+  exporting a sweep), for programmatic consumption;
+* **CSV** — the snapshot flattened into one row per metric via
+  :func:`snapshot_rows`, for spreadsheets and plotting scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.core import TelemetryRegistry, split_metric_key
+
+Snapshot = Dict[str, Any]
+
+#: Stable CSV column order; metric-specific fields fill what applies.
+CSV_COLUMNS = [
+    "cell",
+    "type",
+    "metric",
+    "labels",
+    "value",
+    "count",
+    "mean",
+    "std",
+    "ci95",
+    "p50",
+    "p95",
+    "p99",
+    "min",
+    "max",
+]
+
+
+def _as_snapshot(source: Union[TelemetryRegistry, Snapshot]) -> Snapshot:
+    if isinstance(source, TelemetryRegistry):
+        return source.snapshot()
+    return source
+
+
+def snapshot_rows(
+    source: Union[TelemetryRegistry, Snapshot], cell: str = ""
+) -> List[Dict[str, Any]]:
+    """Flatten a snapshot into one dict row per metric.
+
+    ``cell`` tags every row (the spec label when exporting a sweep), so rows
+    from many cells concatenate into one comparable table.
+    """
+    snapshot = _as_snapshot(source)
+    rows: List[Dict[str, Any]] = []
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = split_metric_key(key)
+        rows.append(
+            {"cell": cell, "type": "counter", "metric": name,
+             "labels": _render_labels(labels), "value": value}
+        )
+    for key, summary in snapshot.get("gauges", {}).items():
+        name, labels = split_metric_key(key)
+        rows.append(
+            {
+                "cell": cell,
+                "type": "gauge",
+                "metric": name,
+                "labels": _render_labels(labels),
+                "value": summary.get("value"),
+                "min": summary.get("min"),
+                "max": summary.get("max"),
+                "count": summary.get("writes"),
+            }
+        )
+    for key, summary in snapshot.get("histograms", {}).items():
+        name, labels = split_metric_key(key)
+        rows.append(
+            {
+                "cell": cell,
+                "type": "histogram",
+                "metric": name,
+                "labels": _render_labels(labels),
+                **{
+                    field: summary.get(field)
+                    for field in ("count", "mean", "std", "ci95", "p50", "p95", "p99", "min", "max")
+                },
+            }
+        )
+    for key, summary in snapshot.get("timelines", {}).items():
+        name, labels = split_metric_key(key)
+        for mark, at in summary.get("first", {}).items():
+            rows.append(
+                {
+                    "cell": cell,
+                    "type": "timeline",
+                    "metric": f"{name}.{mark}",
+                    "labels": _render_labels(labels),
+                    "value": at,
+                }
+            )
+    return rows
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    return ",".join(f"{key}={value}" for key, value in sorted(labels.items()))
+
+
+def write_json(
+    source: Union[TelemetryRegistry, Snapshot, List[Snapshot]],
+    path: Union[str, os.PathLike],
+    indent: Optional[int] = 2,
+) -> str:
+    """Write a snapshot (or a list of per-cell snapshots) as JSON."""
+    if isinstance(source, list):
+        payload: Any = [_as_snapshot(item) for item in source]
+    else:
+        payload = _as_snapshot(source)
+    path = os.fspath(path)
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_csv(
+    rows: Iterable[Dict[str, Any]], path: Union[str, os.PathLike]
+) -> str:
+    """Write flattened metric rows (see :func:`snapshot_rows`) as CSV."""
+    path = os.fspath(path)
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def _ensure_parent(path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)

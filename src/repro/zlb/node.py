@@ -47,6 +47,25 @@ class ZLBReplica(ASMRReplica):
             standby=standby,
         )
 
+    # -- lifecycle ------------------------------------------------------------------
+
+    def bind(self, simulator) -> None:
+        super().bind(simulator)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Mempool occupancy gauges, updated by the pool itself on every
+            # mutation (the ``gauge_hook`` satellite of the mempool).
+            replica = self.replica_id
+            pending = telemetry.gauge("mempool.pending", replica=replica)
+            pending_bytes = telemetry.gauge("mempool.pending_bytes", replica=replica)
+
+            def _update(pool) -> None:
+                pending.set(len(pool))
+                pending_bytes.set(pool.pending_bytes)
+
+            self.blockchain.mempool.gauge_hook = _update
+            _update(self.blockchain.mempool)
+
     # -- ASMR hooks ---------------------------------------------------------------
 
     def _make_proposal(self, instance: int) -> List[Transaction]:
@@ -56,10 +75,21 @@ class ZLBReplica(ASMRReplica):
         return self.blockchain.validate_proposal(proposer, payload)
 
     def _commit(self, instance: int, decision: SBCDecision) -> None:
-        self.blockchain.commit_decision(instance, decision)
+        block = self.blockchain.commit_decision(instance, decision)
+        if self.telemetry is not None:
+            self.telemetry.counter("zlb.blocks_committed").inc()
+            self.telemetry.counter("zlb.transactions_committed").inc(
+                len(block.transactions)
+            )
 
     def _merge(self, instance: int, remote_proposals: Dict[ReplicaId, Any]) -> None:
-        self.blockchain.merge_remote_decision(instance, remote_proposals)
+        outcome = self.blockchain.merge_remote_decision(instance, remote_proposals)
+        if self.telemetry is not None:
+            self.telemetry.counter("zlb.merges").inc()
+            self.telemetry.counter("zlb.merged_transactions").inc(
+                outcome.merged_transactions
+            )
+            self.telemetry.timeline("zlb.recovery").mark("merged", self.now)
 
     def _exclude(self, excluded: List[ReplicaId]) -> None:
         self.blockchain.punish_replicas(excluded)

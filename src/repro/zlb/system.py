@@ -28,6 +28,8 @@ from repro.analysis.metrics import RunMetrics
 from repro.network.delays import DelayModel, PartitionedDelay, delay_model_from_name
 from repro.network.simulator import NetworkSimulator
 from repro.smr.pool import CandidatePool
+from repro.telemetry import core as telemetry_core
+from repro.telemetry.core import TelemetryRegistry
 from repro.zlb.blockchain_manager import BlockchainManager, replica_deposit_account
 from repro.zlb.node import ZLBReplica
 from repro.zlb.payment import DepositPolicy
@@ -79,6 +81,8 @@ class SystemResult:
     final_committee: List[ReplicaId]
     committed_transactions: int
     deposit_shortfall: int
+    #: Telemetry snapshot of the run (None when telemetry is disabled).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def disagreements(self) -> int:
@@ -152,6 +156,11 @@ class ZLBSystem:
         self.protocol_config = protocol_config
         self.instances_requested = 0
 
+    @property
+    def telemetry(self) -> Optional[TelemetryRegistry]:
+        """The run's telemetry registry (owned by the simulator), or None."""
+        return self.simulator.telemetry
+
     # -- construction ----------------------------------------------------------------
 
     @staticmethod
@@ -167,9 +176,17 @@ class ZLBSystem:
         workload_transactions: int = 200,
         batch_size: Optional[int] = None,
         max_time: float = 3_600.0,
+        telemetry: Optional[TelemetryRegistry] = None,
     ) -> "ZLBSystem":
-        """Build a complete deployment; see the class docstring for the pieces."""
+        """Build a complete deployment; see the class docstring for the pieces.
+
+        ``telemetry`` instruments the whole stack (simulator, broadcast,
+        consensus, membership, blockchain managers); it defaults to the
+        registry installed by :func:`repro.telemetry.activate`, i.e. None —
+        disabled — unless a scenario cell activated one.
+        """
         n = fault_config.n
+        telemetry = telemetry if telemetry is not None else telemetry_core.current()
         protocol_config = protocol_config or ProtocolConfig(
             batch_size=batch_size or 50
         )
@@ -198,6 +215,7 @@ class ZLBSystem:
         simulator = NetworkSimulator(
             delay_model=delay_model,
             config=SimulationConfig(seed=seed, max_time=max_time),
+            telemetry=telemetry,
         )
 
         committee = list(range(n))
@@ -385,6 +403,11 @@ class ZLBSystem:
             final_committee=final_committee,
             committed_transactions=committed,
             deposit_shortfall=shortfall,
+            telemetry=(
+                self.simulator.telemetry.snapshot()
+                if self.simulator.telemetry is not None
+                else None
+            ),
         )
 
 

@@ -99,6 +99,73 @@ class TestMempool:
         pool.add_all(workload.batch(3))
         pool.clear()
         assert len(pool) == 0
+        assert pool.pending_bytes == 0
+
+    def test_duplicate_counter_distinct_from_drops(self, workload):
+        pool = Mempool(max_size=2)
+        txs = workload.batch(3)
+        pool.add_all(txs)
+        assert pool.dropped == 1
+        assert not pool.add(txs[0])  # already pending: a duplicate, not a drop
+        assert pool.duplicates == 1
+        assert pool.dropped == 1
+
+    def test_peek_batch_edge_sizes(self, workload):
+        pool = Mempool()
+        txs = workload.batch(3)
+        pool.add_all(txs)
+        assert pool.peek_batch(0) == []
+        assert pool.peek_batch(-1) == []
+        assert [t.tx_id for t in pool.peek_batch(10)] == [t.tx_id for t in txs]
+
+    def test_take_batch_larger_than_pool_empties_it(self, workload):
+        pool = Mempool()
+        txs = workload.batch(2)
+        pool.add_all(txs)
+        batch = pool.take_batch(5)
+        assert [t.tx_id for t in batch] == [t.tx_id for t in txs]
+        assert len(pool) == 0 and pool.pending_bytes == 0
+
+    def test_pending_bytes_tracks_mutations(self, workload):
+        pool = Mempool()
+        txs = workload.batch(4)
+        pool.add_all(txs)
+        assert pool.pending_bytes == sum(t.wire_size() for t in txs)
+        pool.take_batch(2)
+        assert pool.pending_bytes == sum(t.wire_size() for t in txs[2:])
+        pool.remove_decided([txs[2].tx_id])
+        assert pool.pending_bytes == txs[3].wire_size()
+
+    def test_rejected_transactions_do_not_count_bytes(self, workload):
+        pool = Mempool(max_size=1)
+        txs = workload.batch(2)
+        pool.add_all(txs)
+        pool.add(txs[0])  # duplicate
+        assert pool.pending_bytes == txs[0].wire_size()
+
+    def test_gauge_hook_fires_on_every_mutation(self, workload):
+        pool = Mempool()
+        seen = []
+        pool.gauge_hook = lambda p: seen.append((len(p), p.pending_bytes))
+        txs = workload.batch(2)
+        pool.add(txs[0])
+        pool.add(txs[0])  # rejected duplicate: no mutation, no callback
+        pool.add(txs[1])
+        pool.take_batch(1)
+        pool.take_batch(5)
+        pool.take_batch(5)  # empty take: no mutation, no callback
+        pool.clear()  # already empty: no mutation, no callback
+        assert len(seen) == 4
+        assert seen[0] == (1, txs[0].wire_size())
+        assert seen[-1] == (0, 0)
+
+    def test_gauge_hook_fires_on_non_empty_clear(self, workload):
+        pool = Mempool()
+        pool.add_all(workload.batch(2))
+        seen = []
+        pool.gauge_hook = lambda p: seen.append((len(p), p.pending_bytes))
+        pool.clear()
+        assert seen == [(0, 0)]
 
 
 class TestTransferWorkload:

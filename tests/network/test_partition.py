@@ -57,3 +57,31 @@ class TestPartitionSpec:
         assert PartitionSpec.split_evenly(range(9), 3) == PartitionSpec.split_evenly(
             range(9), 3
         )
+
+    def test_more_partitions_than_replicas_drops_empty_groups(self):
+        spec = PartitionSpec.split_evenly([0, 1], 5)
+        assert spec.num_partitions == 2
+        assert all(len(partition) == 1 for partition in spec.partitions)
+
+    def test_round_robin_deal_order(self):
+        spec = PartitionSpec.split_evenly([3, 1, 2, 0], 2)
+        # Sorted ids dealt round-robin: evens to partition 0, odds to 1.
+        assert spec.partition_of(0) == spec.partition_of(2) == 0
+        assert spec.partition_of(1) == spec.partition_of(3) == 1
+
+    def test_duplicate_honest_ids_deduplicated(self):
+        spec = PartitionSpec.split_evenly([0, 0, 1, 1], 2)
+        assert spec.members() == frozenset({0, 1})
+        assert spec.num_partitions == 2
+
+    def test_unknown_replica_never_crosses(self):
+        spec = PartitionSpec.split_evenly([0, 1], 2)
+        assert spec.partition_of(42) is None
+        assert not spec.crosses_partitions(42, 0)
+        assert not spec.crosses_partitions(0, 42)
+
+    def test_single_partition_never_crosses(self):
+        spec = PartitionSpec.split_evenly(range(4), 1)
+        for sender in range(4):
+            for recipient in range(4):
+                assert not spec.crosses_partitions(sender, recipient)
