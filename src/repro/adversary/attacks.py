@@ -20,7 +20,6 @@ layer later turns into proofs of fraud.
 
 from __future__ import annotations
 
-import re
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
@@ -30,17 +29,21 @@ from repro.adversary.coalition import CoalitionPlan
 from repro.consensus.binary import BinaryConsensus, value_digest
 from repro.consensus.certificates import VoteKind, make_vote
 from repro.crypto.hashing import hash_payload
+from repro.network.topic import TopicLike, as_topic
 from repro.rbc.bracha import ReliableBroadcast
 
-_BINARY_CONTEXT = re.compile(r":bin:(\d+)$")
-_RBC_CONTEXT = re.compile(r":rbc:(\d+)$")
+
+#: Accepted names for the two attacks (the paper's and common spellings).
+BINARY_ATTACK_NAMES = ("binary", "binary-consensus", "binary_consensus")
+RBC_ATTACK_NAMES = ("rbbcast", "reliable-broadcast", "reliable_broadcast", "rbc")
 
 
-def _slot_of(protocol: str, pattern: re.Pattern) -> Optional[int]:
-    match = pattern.search(protocol)
-    if match is None:
-        return None
-    return int(match.group(1))
+def _slot_of(protocol: TopicLike, layer: str) -> Optional[int]:
+    """The slot of an RBC/binary topic (``(..., layer, slot)``), else None."""
+    segments = as_topic(protocol).segments
+    if len(segments) >= 2 and segments[-2] == layer and isinstance(segments[-1], int):
+        return segments[-1]
+    return None
 
 
 class BinaryConsensusAttack(AttackStrategy):
@@ -76,7 +79,7 @@ class BinaryConsensusAttack(AttackStrategy):
         and starve the other partition's later rounds; a real attacker keeps
         equivocating until every partition has decided its pushed value.
         """
-        slot = _slot_of(message.protocol, _BINARY_CONTEXT)
+        slot = _slot_of(message.topic, "bin")
         if slot is not None and slot in self.attacked_slots:
             if message.kind == BinaryConsensus.DECIDE:
                 return False
@@ -85,12 +88,12 @@ class BinaryConsensusAttack(AttackStrategy):
     def rewrite_broadcast(
         self,
         replica: Any,
-        protocol: str,
+        protocol: TopicLike,
         kind: str,
         body: Dict[str, Any],
         recipients: Sequence[ReplicaId],
     ) -> bool:
-        slot = _slot_of(protocol, _BINARY_CONTEXT)
+        slot = _slot_of(protocol, "bin")
         if slot is None or slot not in self.attacked_slots:
             return False
         if kind == BinaryConsensus.DECIDE:
@@ -167,12 +170,12 @@ class ReliableBroadcastAttack(AttackStrategy):
     def rewrite_broadcast(
         self,
         replica: Any,
-        protocol: str,
+        protocol: TopicLike,
         kind: str,
         body: Dict[str, Any],
         recipients: Sequence[ReplicaId],
     ) -> bool:
-        slot = _slot_of(protocol, _RBC_CONTEXT)
+        slot = _slot_of(protocol, "rbc")
         if slot is None or slot not in self.variants:
             return False
         if kind not in (
@@ -224,9 +227,9 @@ def attack_from_name(
     attack (``variants`` is then required).
     """
     key = name.strip().lower()
-    if key in ("binary", "binary-consensus", "binary_consensus"):
+    if key in BINARY_ATTACK_NAMES:
         return BinaryConsensusAttack(plan)
-    if key in ("rbbcast", "reliable-broadcast", "reliable_broadcast", "rbc"):
+    if key in RBC_ATTACK_NAMES:
         if variants is None:
             raise ConfigurationError(
                 "the reliable broadcast attack requires proposal variants"

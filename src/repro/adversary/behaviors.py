@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.types import ReplicaId
+from repro.network.topic import TopicLike
 
 
 class AttackStrategy:
@@ -31,7 +32,7 @@ class AttackStrategy:
     def rewrite_broadcast(
         self,
         replica: Any,
-        protocol: str,
+        protocol: TopicLike,
         kind: str,
         body: Dict[str, Any],
         recipients: Sequence[ReplicaId],
@@ -51,7 +52,7 @@ class PassiveStrategy(AttackStrategy):
     def rewrite_broadcast(
         self,
         replica: Any,
-        protocol: str,
+        protocol: TopicLike,
         kind: str,
         body: Dict[str, Any],
         recipients: Sequence[ReplicaId],

@@ -32,7 +32,9 @@ from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SignedPayload, Signer
 from repro.network.delays import DelayModel, ConstantDelay
 from repro.network.message import Message
-from repro.network.simulator import NetworkSimulator, Process
+from repro.network.router import RoutedProcess
+from repro.network.simulator import NetworkSimulator
+from repro.network.topic import Topic, topic
 
 
 @dataclasses.dataclass
@@ -58,8 +60,11 @@ class HotStuffBlock:
 
 GENESIS_HASH = "0" * 64
 
+#: Every HotStuff message travels under this topic.
+HOTSTUFF_TOPIC = topic("hotstuff")
 
-class HotStuffReplica(Process):
+
+class HotStuffReplica(RoutedProcess):
     """One HotStuff replica (leader duties rotate by view number)."""
 
     PROPOSAL = "PROPOSAL"
@@ -75,6 +80,11 @@ class HotStuffReplica(Process):
         fault: FaultKind = FaultKind.HONEST,
     ):
         super().__init__(replica_id)
+        self.router.register(HOTSTUFF_TOPIC, self._route)
+        self._kind_handlers = {
+            self.PROPOSAL: self._handle_proposal,
+            self.VOTE: self._handle_vote,
+        }
         self.committee = sorted(committee)
         self.signer = signer
         self.registry = registry
@@ -143,17 +153,19 @@ class HotStuffReplica(Process):
             "payload": block.payload,
             "justify_view": block.justify_view,
         }
-        self.broadcast("hotstuff", self.PROPOSAL, body, recipients=self.committee)
+        self.broadcast(HOTSTUFF_TOPIC, self.PROPOSAL, body, recipients=self.committee)
 
     # -- replica side --------------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
         if self.fault is FaultKind.BENIGN:
             return
-        if message.kind == self.PROPOSAL:
-            self._handle_proposal(message.sender, message.body)
-        elif message.kind == self.VOTE:
-            self._handle_vote(message.sender, message.body)
+        super().on_message(message)
+
+    def _route(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        handler = self._kind_handlers.get(kind)
+        if handler is not None:
+            handler(sender, body)
 
     def _handle_proposal(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
         view = int(body.get("view", -1))
@@ -174,7 +186,7 @@ class HotStuffReplica(Process):
         next_leader = self.leader_of(view + 1)
         self.send_to(
             next_leader,
-            "hotstuff",
+            HOTSTUFF_TOPIC,
             self.VOTE,
             {"view": view, "block": block.block_hash, "vote": signed.to_payload()},
         )

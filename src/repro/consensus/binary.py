@@ -40,6 +40,7 @@ from repro.consensus.certificates import (
 )
 from repro.consensus.host import ProtocolHost
 from repro.crypto.hashing import hash_payload
+from repro.network.topic import TopicLike, as_topic
 
 #: Callback signature: (context, decided_value, certificate)
 DecideCallback = Callable[[str, int, Certificate], None]
@@ -57,9 +58,12 @@ class BinaryConsensus:
     AUX = "AUX"
     DECIDE = "DECIDE"
 
-    def __init__(self, host: ProtocolHost, context: str, on_decide: DecideCallback):
+    def __init__(self, host: ProtocolHost, context: TopicLike, on_decide: DecideCallback):
         self.host = host
-        self.context = context
+        #: The instance's topic (emission path) and its canonical string form
+        #: (the signed vote context — votes stay wire-stable strings).
+        self.topic = as_topic(context)
+        self.context = self.topic.canonical
         self.on_decide = on_decide
         # Telemetry (None when disabled); latency runs from first activity.
         self._telemetry = host.telemetry
@@ -115,7 +119,7 @@ class BinaryConsensus:
             return
         sent.add(value)
         self.host.emit(
-            self.context, self.BVAL, {"round": round_number, "value": value}
+            self.topic, self.BVAL, {"round": round_number, "value": value}
         )
 
     def _broadcast_aux(self, round_number: int) -> None:
@@ -134,7 +138,7 @@ class BinaryConsensus:
         )
         self.collected_votes.append(vote)
         self.host.emit(
-            self.context,
+            self.topic,
             self.AUX,
             {"round": round_number, "value": chosen, "vote": vote.to_payload()},
         )
@@ -283,7 +287,7 @@ class BinaryConsensus:
         self.collected_votes.append(decide_vote)
         if rebroadcast:
             self.host.emit(
-                self.context,
+                self.topic,
                 self.DECIDE,
                 {
                     "value": value,

@@ -89,10 +89,14 @@ class SignedVote:
         }
 
 
-def vote_payload(context: str, round_number: int, kind: VoteKind, value_digest: str) -> Dict[str, Any]:
-    """The canonical payload a replica signs when voting."""
+def vote_payload(context: Any, round_number: int, kind: VoteKind, value_digest: str) -> Dict[str, Any]:
+    """The canonical payload a replica signs when voting.
+
+    ``context`` may be a string or a :class:`~repro.network.topic.Topic`; the
+    signed form is always the canonical string so votes stay wire-stable.
+    """
     return {
-        "context": context,
+        "context": str(context),
         "round": round_number,
         "kind": kind.value,
         "value_digest": value_digest,
@@ -100,13 +104,16 @@ def vote_payload(context: str, round_number: int, kind: VoteKind, value_digest: 
 
 
 def make_vote(
-    host: Any, context: str, round_number: int, kind: VoteKind, value_digest: str
+    host: Any, context: Any, round_number: int, kind: VoteKind, value_digest: str
 ) -> SignedVote:
-    """Create a vote signed by ``host`` (any object exposing ``sign`` and ``replica_id``)."""
+    """Create a vote signed by ``host`` (any object exposing ``sign`` and ``replica_id``).
+
+    ``context`` accepts a string or a Topic; votes carry the canonical string.
+    """
     payload = vote_payload(context, round_number, kind, value_digest)
     signature = host.sign(payload)
     return SignedVote(
-        context=context,
+        context=str(context),
         round=round_number,
         kind=kind,
         value_digest=value_digest,

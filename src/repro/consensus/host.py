@@ -68,21 +68,25 @@ class ProtocolHost:
 
     def emit(
         self,
-        protocol: str,
+        protocol: Any,
         kind: str,
         body: Dict[str, Any],
         recipients: Optional[Iterable[ReplicaId]] = None,
     ) -> None:
-        """Broadcast a protocol message (to the committee unless restricted)."""
+        """Broadcast a protocol message (to the committee unless restricted).
+
+        ``protocol`` is a :class:`~repro.network.topic.Topic` (or anything
+        :func:`~repro.network.topic.as_topic` accepts).
+        """
         raise NotImplementedError
 
-    def emit_to(self, recipient: ReplicaId, protocol: str, kind: str, body: Dict[str, Any]) -> None:
+    def emit_to(self, recipient: ReplicaId, protocol: Any, kind: str, body: Dict[str, Any]) -> None:
         """Send a protocol message to a single replica."""
         raise NotImplementedError
 
     # -- notifications from components ------------------------------------------------
 
-    def component_decided(self, protocol: str, decision: Any) -> None:
+    def component_decided(self, protocol: Any, decision: Any) -> None:
         """Called by a component when it reaches a decision."""
         raise NotImplementedError
 

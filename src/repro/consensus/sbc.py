@@ -28,6 +28,7 @@ from repro.consensus.binary import BinaryConsensus
 from repro.consensus.certificates import Certificate, SignedVote
 from repro.consensus.host import ProtocolHost
 from repro.crypto.hashing import hash_payload
+from repro.network.topic import Topic, TopicLike, as_topic
 from repro.rbc.bracha import ReliableBroadcast
 
 #: Validates a delivered proposal; invalid proposals are treated as absent.
@@ -63,16 +64,25 @@ class SBCDecision:
         default_factory=dict
     )
     decided_at: float = 0.0
+    #: Memoised digest — a decision is immutable once built, and the digest is
+    #: re-read on every confirmation exchange (a hot path at large n).
+    _digest: Optional[str] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def digest(self) -> str:
         """Canonical digest of the decided set (order-independent per slot)."""
-        included = sorted(
-            (slot, hash_payload(self.proposals[slot]))
-            for slot, bit in self.bitmask.items()
-            if bit == 1
-        )
-        return hash_payload(["sbc-decision", self.instance, included])
+        digest = self._digest
+        if digest is None:
+            included = sorted(
+                (slot, hash_payload(self.proposals[slot]))
+                for slot, bit in self.bitmask.items()
+                if bit == 1
+            )
+            digest = hash_payload(["sbc-decision", self.instance, included])
+            self._digest = digest
+        return digest
 
     def included_slots(self) -> List[ReplicaId]:
         """Slots whose proposals are part of the decision, in slot order."""
@@ -107,7 +117,7 @@ class SetByzantineConsensus:
         instance: int,
         on_decide: SBCDecideCallback,
         proposal_validator: Optional[ProposalValidator] = None,
-        protocol_prefix: str = "sbc",
+        protocol_prefix: TopicLike = "sbc",
         zero_phase_grace: float = 0.05,
     ):
         self.host = host
@@ -118,7 +128,10 @@ class SetByzantineConsensus:
         #: the still-missing slots; gives slightly slower proposers a chance so
         #: the common all-honest case includes every proposal (SBC throughput).
         self.zero_phase_grace = zero_phase_grace
-        self.prefix = f"{protocol_prefix}:{instance}"
+        #: Base topic of the instance, e.g. ``("sbc", epoch, instance)`` or
+        #: ``("excl", epoch)``; sub-component topics extend it with
+        #: ``("rbc"|"bin", slot)``.
+        self.topic: Topic = as_topic(protocol_prefix).child(instance)
         # Telemetry (None when disabled); the SBC latency runs from instance
         # creation (the replica starts the instance when it proposes or first
         # hears of it) to local decision, in simulated time.
@@ -134,30 +147,31 @@ class SetByzantineConsensus:
         self._rbc: Dict[ReplicaId, ReliableBroadcast] = {}
         self._binary: Dict[ReplicaId, BinaryConsensus] = {}
         self._zero_phase_started = False
+        base = self.topic
         for slot in self.slots:
             self._rbc[slot] = ReliableBroadcast(
                 host=host,
-                context=self._rbc_context(slot),
+                context=base.child("rbc", slot),
                 proposer=slot,
                 on_deliver=self._on_rbc_deliver,
             )
             self._binary[slot] = BinaryConsensus(
                 host=host,
-                context=self._binary_context(slot),
-                on_decide=self._on_binary_decide,
+                context=base.child("bin", slot),
+                # Bind the slot at construction time: no context scan needed
+                # when the instance decides.
+                on_decide=(
+                    lambda _context, value, certificate, slot=slot: (
+                        self._on_binary_decide(slot, value, certificate)
+                    )
+                ),
             )
 
-    # -- protocol naming -----------------------------------------------------------
+    # -- routing -------------------------------------------------------------------
 
-    def _rbc_context(self, slot: ReplicaId) -> str:
-        return f"{self.prefix}:rbc:{slot}"
-
-    def _binary_context(self, slot: ReplicaId) -> str:
-        return f"{self.prefix}:bin:{slot}"
-
-    def owns_protocol(self, protocol: str) -> bool:
-        """True when ``protocol`` belongs to this SBC instance."""
-        return protocol.startswith(self.prefix + ":")
+    def owns_topic(self, topic: Topic) -> bool:
+        """True when ``topic`` belongs to this SBC instance."""
+        return self.topic.is_prefix_of(topic)
 
     # -- API -------------------------------------------------------------------------
 
@@ -167,15 +181,23 @@ class SetByzantineConsensus:
         if slot in self._rbc:
             self._rbc[slot].broadcast(payload)
 
-    def handle(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
-        """Route a message to the owning sub-component."""
-        for slot in self.slots:
-            if protocol == self._rbc_context(slot):
-                self._rbc[slot].handle(sender, kind, body)
-                return
-            if protocol == self._binary_context(slot):
-                self._binary[slot].handle(sender, kind, body)
-                return
+    def handle(self, topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        """Route a message to the owning sub-component: O(1) dict lookups on
+        the ``(layer, slot)`` segments below the instance's base topic."""
+        segments = topic.segments
+        base_len = len(self.topic.segments)
+        if len(segments) != base_len + 2:
+            return
+        layer = segments[base_len]
+        slot = segments[base_len + 1]
+        if layer == "rbc":
+            component = self._rbc.get(slot)
+        elif layer == "bin":
+            component = self._binary.get(slot)
+        else:
+            component = None
+        if component is not None:
+            component.handle(sender, kind, body)
 
     # -- sub-component callbacks --------------------------------------------------------
 
@@ -214,19 +236,12 @@ class SetByzantineConsensus:
             if not binary.started:
                 binary.propose(0)
 
-    def _on_binary_decide(self, context: str, value: int, certificate: Certificate) -> None:
-        slot = self._slot_of_binary_context(context)
-        if slot is None or slot in self._bits:
+    def _on_binary_decide(self, slot: ReplicaId, value: int, certificate: Certificate) -> None:
+        if slot in self._bits:
             return
         self._bits[slot] = value
         self._binary_certs[slot] = certificate
         self._maybe_complete()
-
-    def _slot_of_binary_context(self, context: str) -> Optional[ReplicaId]:
-        for slot in self.slots:
-            if context == self._binary_context(slot):
-                return slot
-        return None
 
     # -- completion ------------------------------------------------------------------------
 

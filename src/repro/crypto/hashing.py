@@ -63,6 +63,12 @@ def _encode(value: Any) -> bytes:
         )
         inner = b"".join(key + val for key, val in encoded_items)
         return b"D" + str(len(value)).encode("ascii") + b":" + inner + b";"
+    # Objects that memoise their own canonical encoding (e.g. transactions,
+    # which are immutable once built and re-hashed on every proposal digest)
+    # short-circuit the recursive walk entirely.
+    cached = getattr(value, "canonical_bytes_cached", None)
+    if callable(cached):
+        return cached()
     # Objects that know how to serialise themselves participate transparently.
     to_payload = getattr(value, "to_payload", None)
     if callable(to_payload):

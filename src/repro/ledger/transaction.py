@@ -76,6 +76,18 @@ class Transaction:
     signatures: Dict[str, SignedPayload] = dataclasses.field(default_factory=dict)
     public_materials: Dict[str, Any] = dataclasses.field(default_factory=dict)
     signer_names: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Memoised identity/encoding caches.  Inputs, outputs and the nonce are
+    #: fixed at construction (signatures are added later but are not part of
+    #: the body hash), so these never go stale.  Transactions are re-hashed on
+    #: every proposal digest, confirmation cross-check and block commit — the
+    #: hottest non-network path of the simulator — which is why both the id
+    #: and the canonical encoding are cached.
+    _tx_id: Optional[str] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _canonical: Optional[bytes] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- identity ------------------------------------------------------------
 
@@ -90,10 +102,24 @@ class Transaction:
     @property
     def tx_id(self) -> str:
         """Content-derived transaction identifier (hash of the body)."""
-        return hash_payload(self.body_payload())
+        tx_id = self._tx_id
+        if tx_id is None:
+            tx_id = hash_payload(self.body_payload())
+            self._tx_id = tx_id
+        return tx_id
 
     def to_payload(self) -> Dict[str, Any]:
         return {"tx_id": self.tx_id, "body": self.body_payload()}
+
+    def canonical_bytes_cached(self) -> bytes:
+        """Memoised canonical encoding used by :mod:`repro.crypto.hashing`."""
+        encoded = self._canonical
+        if encoded is None:
+            from repro.crypto.hashing import canonical_bytes
+
+            encoded = b"O" + canonical_bytes(self.to_payload())
+            self._canonical = encoded
+        return encoded
 
     # -- accessors -----------------------------------------------------------
 

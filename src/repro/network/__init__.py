@@ -18,10 +18,18 @@ from repro.network.delays import (
     delay_model_from_name,
 )
 from repro.network.partition import PartitionSpec
+from repro.network.router import RoutedProcess, Router
 from repro.network.simulator import NetworkSimulator, Process
+from repro.network.topic import Topic, TopicLike, as_topic, topic
 
 __all__ = [
     "Message",
+    "Topic",
+    "TopicLike",
+    "as_topic",
+    "topic",
+    "Router",
+    "RoutedProcess",
     "AwsRegionDelay",
     "ConstantDelay",
     "DelayModel",

@@ -1,47 +1,77 @@
 """Typed message envelopes exchanged between simulated replicas.
 
-Every protocol message travels inside a :class:`Message`: the envelope names
-the sender, the recipient, the protocol that should consume it (``protocol``),
-a message ``kind`` within that protocol and a free-form ``body``.  Signed
-content (votes, echoes, certificates) is carried inside the body as
-:class:`~repro.crypto.signatures.SignedPayload` objects so accountability can
-later re-verify it independently of the envelope.
+Every protocol message travels inside a :class:`Message`: a slotted envelope
+naming the sender, the recipient, the :class:`~repro.network.topic.Topic` that
+should consume it, a message ``kind`` within that protocol and a free-form
+``body``.  Signed content (votes, echoes, certificates) is carried inside the
+body as :class:`~repro.crypto.signatures.SignedPayload` objects so
+accountability can later re-verify it independently of the envelope.
+
+Broadcasts share **one** envelope across all recipients (the simulator fills
+in ``recipient`` as each delivery pops); bodies are shared too and treated as
+immutable once sent.  The envelope memoises its estimated wire size so
+telemetry-enabled runs never re-walk a body dictionary twice.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 from typing import Any, Dict, Optional
 
 from repro.common.types import ReplicaId
+from repro.network.topic import Topic, TopicLike, as_topic
 
 _message_counter = itertools.count()
 
 
-@dataclasses.dataclass
 class Message:
     """A network message envelope.
 
     Attributes:
         sender: replica id of the sender (as claimed on the wire; protocols
             that care about authenticity verify the signed content instead).
-        recipient: replica id of the destination.
-        protocol: name of the protocol instance that should consume the
-            message, e.g. ``"rbc:5:2"`` (reliable broadcast for consensus
-            instance 5, proposer 2).
+        recipient: replica id of the destination; ``None`` on a broadcast
+            envelope until the simulator stamps each delivery.
+        topic: the protocol topic that should consume the message, e.g.
+            ``Topic.of("sbc", 0, 5, "rbc", 2)`` (epoch 0, consensus instance
+            5, reliable broadcast of proposer 2).
         kind: message kind within the protocol, e.g. ``"ECHO"``.
-        body: free-form payload dictionary.
+        body: free-form payload dictionary (shared, never copied).
         uid: unique, monotonically increasing message id (simulation-local);
             useful for deterministic tie-breaking and debugging.
     """
 
-    sender: ReplicaId
-    recipient: ReplicaId
-    protocol: str
-    kind: str
-    body: Dict[str, Any] = dataclasses.field(default_factory=dict)
-    uid: int = dataclasses.field(default_factory=lambda: next(_message_counter))
+    __slots__ = ("sender", "recipient", "topic", "kind", "body", "uid", "_size")
+
+    def __init__(
+        self,
+        sender: ReplicaId,
+        recipient: Optional[ReplicaId],
+        protocol: TopicLike,
+        kind: str,
+        body: Optional[Dict[str, Any]] = None,
+        uid: Optional[int] = None,
+    ):
+        self.sender = sender
+        self.recipient = recipient
+        self.topic = protocol if type(protocol) is Topic else as_topic(protocol)
+        self.kind = kind
+        self.body: Dict[str, Any] = {} if body is None else body
+        self.uid = next(_message_counter) if uid is None else uid
+        self._size: Optional[int] = None
+
+    @property
+    def protocol(self) -> str:
+        """Canonical string form of the topic (logs, legacy assertions)."""
+        return self.topic.canonical
+
+    def size_bytes(self) -> int:
+        """Memoised wire-size estimate of the body (see estimate_size_bytes)."""
+        size = self._size
+        if size is None:
+            size = estimate_size_bytes(self.body)
+            self._size = size
+        return size
 
     def with_recipient(self, recipient: ReplicaId) -> "Message":
         """Return a copy of the message addressed to ``recipient``.
@@ -50,19 +80,25 @@ class Message:
         as immutable once sent.  A fresh ``uid`` is allocated so each copy can
         be traced individually.
         """
-        return Message(
+        copy = Message(
             sender=self.sender,
             recipient=recipient,
-            protocol=self.protocol,
+            protocol=self.topic,
             kind=self.kind,
             body=self.body,
         )
+        copy._size = self._size
+        return copy
 
     def describe(self) -> str:
         """Short human-readable description used in logs and error messages."""
         return (
-            f"{self.protocol}/{self.kind} from {self.sender} to {self.recipient}"
+            f"{self.topic.canonical}/{self.kind} "
+            f"from {self.sender} to {self.recipient}"
         )
+
+    def __repr__(self) -> str:
+        return f"Message({self.describe()}, uid={self.uid})"
 
 
 def reset_message_counter() -> None:

@@ -8,6 +8,14 @@ from a single seeded :class:`random.Random` so every run is reproducible.
 The design keeps protocol code synchronous and callback-driven: a process
 reacts to :meth:`Process.on_message` and timer callbacks, possibly sending new
 messages, and the simulator interleaves everything in timestamp order.
+
+The event kernel is **fan-out-aware**: a broadcast enqueues a single event
+carrying the full per-recipient delivery schedule (delays sampled once, in
+recipient order, at submission time — exactly the RNG consumption order of a
+per-recipient submission loop, so seeded runs are bit-identical either way).
+The event re-inserts itself until every recipient is served, keeping the heap
+proportional to the number of *pending broadcasts* rather than the number of
+pending deliveries.
 """
 
 from __future__ import annotations
@@ -15,19 +23,20 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.config import SimulationConfig
 from repro.common.errors import SimulationError
 from repro.common.types import ReplicaId
 from repro.network.delays import ConstantDelay, DelayModel
-from repro.network.message import Message, estimate_size_bytes
+from repro.network.message import Message
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.core import TelemetryRegistry, protocol_group
 
 #: Queue depth is sampled every this many processed events (power of two so
 #: the hot loop's modulo is a mask); sampling keeps enabled-mode overhead low
-#: while still tracing how the backlog evolves.
+#: while still tracing how the backlog evolves.  Note the sampled value counts
+#: heap entries: a pending broadcast is one entry regardless of fan-out.
 QUEUE_DEPTH_SAMPLE_EVERY = 64
 
 
@@ -71,7 +80,7 @@ class Process:
         """Send a point-to-point message."""
         self.simulator.submit(message)
 
-    def send_to(self, recipient: ReplicaId, protocol: str, kind: str, body: dict) -> None:
+    def send_to(self, recipient: ReplicaId, protocol, kind: str, body: dict) -> None:
         """Convenience wrapper building the envelope and sending it."""
         self.send(
             Message(
@@ -85,7 +94,7 @@ class Process:
 
     def broadcast(
         self,
-        protocol: str,
+        protocol,
         kind: str,
         body: dict,
         include_self: bool = True,
@@ -94,17 +103,30 @@ class Process:
         """Send the same message to every replica known to the simulator.
 
         ``recipients`` restricts the broadcast (used by deceitful replicas to
-        equivocate towards specific partitions).
+        equivocate towards specific partitions).  One envelope and one queue
+        event serve every recipient; without an explicit recipient list the
+        simulator's cached membership view is used directly (no re-sorting).
         """
-        targets = (
-            list(recipients)
-            if recipients is not None
-            else list(self.simulator.replica_ids())
+        simulator = self.simulator
+        if recipients is not None:
+            if include_self:
+                targets: Sequence[ReplicaId] = list(recipients)
+            else:
+                targets = [r for r in recipients if r != self.replica_id]
+        else:
+            view = simulator.membership_view()
+            if include_self:
+                targets = view
+            else:
+                targets = [r for r in view if r != self.replica_id]
+        message = Message(
+            sender=self.replica_id,
+            recipient=None,
+            protocol=protocol,
+            kind=kind,
+            body=body,
         )
-        for target in targets:
-            if not include_self and target == self.replica_id:
-                continue
-            self.send_to(target, protocol, kind, body)
+        simulator.submit_broadcast(message, targets)
 
     def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to run after ``delay`` simulated seconds."""
@@ -125,12 +147,30 @@ class Process:
 
 
 class _Event:
-    """Internal event record ordered by (time, sequence number)."""
+    """Internal event record ordered by (time, sequence number).
 
-    __slots__ = ("time", "seq", "kind", "message", "callback", "cancelled")
+    Three kinds share the class: point-to-point DELIVERY, TIMER callbacks and
+    BROADCAST fan-out events.  A broadcast event carries its whole delivery
+    schedule (``deliveries`` is a list of ``(time, order, recipient)`` sorted
+    by delivery time) and re-enters the heap, keeping its sequence number,
+    until ``cursor`` reaches the end — which reproduces exactly the ordering
+    a per-recipient event scheme would yield, with one heap entry.
+    """
+
+    __slots__ = (
+        "time",
+        "seq",
+        "kind",
+        "message",
+        "callback",
+        "cancelled",
+        "deliveries",
+        "cursor",
+    )
 
     DELIVERY = "delivery"
     TIMER = "timer"
+    BROADCAST = "broadcast"
 
     def __init__(
         self,
@@ -146,6 +186,8 @@ class _Event:
         self.message = message
         self.callback = callback
         self.cancelled = False
+        self.deliveries: Optional[List[Tuple[float, int, ReplicaId]]] = None
+        self.cursor = 0
 
     def __lt__(self, other: "_Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -170,10 +212,16 @@ class NetworkSimulator:
         self._queue: List[_Event] = []
         self._sequence = itertools.count()
         self._processes: Dict[ReplicaId, Process] = {}
+        #: Cached sorted membership view, rebuilt only when membership changes.
+        self._membership_view: Tuple[ReplicaId, ...] = ()
         self._timers: Dict[int, _Event] = {}
         self._disconnected: Set[ReplicaId] = set()
         self._now: float = 0.0
         self._started = False
+        #: Live count of queued, non-cancelled deliveries and timers
+        #: (broadcasts count one per still-undelivered recipient), maintained
+        #: on push/cancel/pop so :meth:`pending_events` is O(1).
+        self._pending = 0
         # Observability counters.
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -190,16 +238,22 @@ class NetworkSimulator:
             )
         process.bind(self)
         self._processes[process.replica_id] = process
+        self._membership_view = tuple(sorted(self._processes))
         if self._started:
             process.on_start()
 
     def remove_process(self, replica_id: ReplicaId) -> None:
         """Remove a process; queued messages to it will be dropped on delivery."""
-        self._processes.pop(replica_id, None)
+        if self._processes.pop(replica_id, None) is not None:
+            self._membership_view = tuple(sorted(self._processes))
+
+    def membership_view(self) -> Tuple[ReplicaId, ...]:
+        """Cached sorted tuple of registered replica ids (do not mutate)."""
+        return self._membership_view
 
     def replica_ids(self) -> List[ReplicaId]:
         """Sorted list of currently registered replica ids."""
-        return sorted(self._processes)
+        return list(self._membership_view)
 
     def process_for(self, replica_id: ReplicaId) -> Process:
         """Return the process registered for ``replica_id``."""
@@ -228,13 +282,13 @@ class NetworkSimulator:
         self.messages_sent += 1
         telemetry = self.telemetry
         if telemetry is not None:
-            group = protocol_group(message.protocol)
+            group = protocol_group(message.topic)
             telemetry.counter(
                 "net.messages_sent", protocol=group, kind=message.kind
             ).inc()
             telemetry.counter(
                 "net.bytes_sent", protocol=group, kind=message.kind
-            ).inc(estimate_size_bytes(message.body))
+            ).inc(message.size_bytes())
         if (
             message.sender in self._disconnected
             or message.recipient in self._disconnected
@@ -253,6 +307,66 @@ class NetworkSimulator:
             message=message,
         )
         heapq.heappush(self._queue, event)
+        self._pending += 1
+
+    def submit_broadcast(
+        self, message: Message, targets: Sequence[ReplicaId]
+    ) -> None:
+        """Queue one broadcast envelope for delivery to every target.
+
+        Per-recipient delays are sampled immediately, in target order — the
+        same RNG consumption order as submitting one message per recipient —
+        and the schedule rides a single heap event.
+        """
+        count = len(targets)
+        if count == 0:
+            return
+        self.messages_sent += count
+        telemetry = self.telemetry
+        if telemetry is not None:
+            group = protocol_group(message.topic)
+            telemetry.counter(
+                "net.messages_sent", protocol=group, kind=message.kind
+            ).inc(count)
+            telemetry.counter(
+                "net.bytes_sent", protocol=group, kind=message.kind
+            ).inc(message.size_bytes() * count)
+        sender = message.sender
+        if sender in self._disconnected:
+            self.messages_dropped += count
+            if telemetry is not None:
+                telemetry.counter("net.messages_dropped").inc(count)
+            return
+        disconnected = self._disconnected
+        sample = self.delay_model.sample
+        rng = self.rng
+        now = self._now
+        deliveries: List[Tuple[float, int, ReplicaId]] = []
+        dropped = 0
+        for order, target in enumerate(targets):
+            if target in disconnected:
+                dropped += 1
+                continue
+            delay = sample(sender, target, rng)
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay} sampled")
+            deliveries.append((now + delay, order, target))
+        if dropped:
+            self.messages_dropped += dropped
+            if telemetry is not None:
+                telemetry.counter("net.messages_dropped").inc(dropped)
+        if not deliveries:
+            return
+        deliveries.sort()
+        event = _Event(
+            time=deliveries[0][0],
+            seq=next(self._sequence),
+            kind=_Event.BROADCAST,
+            message=message,
+        )
+        event.deliveries = deliveries
+        heapq.heappush(self._queue, event)
+        self._pending += len(deliveries)
 
     def schedule(
         self, delay: float, callback: Callable[[], None], owner: Optional[ReplicaId] = None
@@ -268,13 +382,15 @@ class NetworkSimulator:
         )
         heapq.heappush(self._queue, event)
         self._timers[event.seq] = event
+        self._pending += 1
         return event.seq
 
     def cancel(self, timer_id: int) -> None:
         """Cancel a pending timer; firing or fired timers are ignored."""
         event = self._timers.get(timer_id)
-        if event is not None:
+        if event is not None and not event.cancelled:
             event.cancelled = True
+            self._pending -= 1
 
     # -- execution -----------------------------------------------------------
 
@@ -310,23 +426,40 @@ class NetworkSimulator:
             if event.time > deadline:
                 break
             heapq.heappop(self._queue)
-            if event.kind == _Event.TIMER:
+            kind = event.kind
+            if kind == _Event.TIMER:
                 # Drop the bookkeeping entry whether the timer fires or was
                 # cancelled — cancelled entries must not outlive their event.
                 self._timers.pop(event.seq, None)
-            if event.cancelled:
-                continue
+                if event.cancelled:
+                    continue
             self._now = max(self._now, event.time)
             processed += 1
             self.events_processed += 1
+            self._pending -= 1
             if (
                 telemetry is not None
                 and self.events_processed % QUEUE_DEPTH_SAMPLE_EVERY == 0
             ):
                 telemetry.histogram("net.queue_depth").observe(len(self._queue))
-            if event.kind == _Event.TIMER:
+            if kind == _Event.TIMER:
                 assert event.callback is not None
                 event.callback()
+            elif kind == _Event.BROADCAST:
+                deliveries = event.deliveries
+                assert deliveries is not None and event.message is not None
+                cursor = event.cursor
+                message = event.message
+                message.recipient = deliveries[cursor][2]
+                cursor += 1
+                if cursor < len(deliveries):
+                    # Re-enter the heap for the next recipient, keeping the
+                    # original sequence number so tie-breaking matches the
+                    # per-recipient event scheme exactly.
+                    event.cursor = cursor
+                    event.time = deliveries[cursor][0]
+                    heapq.heappush(self._queue, event)
+                self._deliver(message)
             else:
                 assert event.message is not None
                 self._deliver(event.message)
@@ -357,8 +490,12 @@ class NetworkSimulator:
         process.on_message(message)
 
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued (non-cancelled) deliveries and timers, O(1).
+
+        Maintained as a live counter on push/cancel/pop; a queued broadcast
+        counts one pending event per recipient not yet served.
+        """
+        return self._pending
 
 
 class SimulationResult:

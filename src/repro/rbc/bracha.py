@@ -30,6 +30,7 @@ from repro.consensus.certificates import (
 )
 from repro.consensus.host import ProtocolHost
 from repro.crypto.hashing import hash_payload
+from repro.network.topic import TopicLike, as_topic
 
 #: Callback signature: (proposer, value, ready_certificate)
 DeliverCallback = Callable[[ReplicaId, Any, Certificate], None]
@@ -45,12 +46,15 @@ class ReliableBroadcast:
     def __init__(
         self,
         host: ProtocolHost,
-        context: str,
+        context: TopicLike,
         proposer: ReplicaId,
         on_deliver: DeliverCallback,
     ):
         self.host = host
-        self.context = context
+        #: The instance's topic (emission path) and its canonical string form
+        #: (the signed vote context — votes stay wire-stable strings).
+        self.topic = as_topic(context)
+        self.context = self.topic.canonical
         self.proposer = proposer
         self.on_deliver = on_deliver
         self.delivered = False
@@ -93,7 +97,7 @@ class ReliableBroadcast:
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_INIT, digest)
         self.collected_votes.append(vote)
         self.host.emit(
-            self.context,
+            self.topic,
             self.INIT,
             {"value": value, "digest": digest, "vote": vote.to_payload()},
         )
@@ -106,7 +110,7 @@ class ReliableBroadcast:
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_ECHO, digest)
         self.collected_votes.append(vote)
         self.host.emit(
-            self.context,
+            self.topic,
             self.ECHO,
             {"value": value, "digest": digest, "vote": vote.to_payload()},
         )
@@ -120,7 +124,7 @@ class ReliableBroadcast:
         self.collected_votes.append(vote)
         value = self._values.get(digest)
         self.host.emit(
-            self.context,
+            self.topic,
             self.READY,
             {"digest": digest, "value": value, "vote": vote.to_payload()},
         )

@@ -22,7 +22,6 @@ acceptable) and the ``on_commit`` / ``on_merge`` / ``on_exclude`` callbacks.
 from __future__ import annotations
 
 import dataclasses
-import re
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.config import ProtocolConfig
@@ -38,11 +37,10 @@ from repro.crypto.hashing import hash_payload
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import Signer
 from repro.network.message import Message
+from repro.network.topic import Topic, topic
 from repro.smr.membership import MembershipChange, MembershipOutcome
 from repro.smr.pool import CandidatePool
 from repro.smr.replica import BaseReplica
-
-_SBC_PREFIX = re.compile(r"^sbc\.e(\d+):(\d+):")
 
 #: Default assumed deceitful ratio used to size the confirmation quorum
 #: (the paper requires messages from more than (delta + 1/3) * n replicas).
@@ -74,11 +72,26 @@ class InstanceRecord:
 
 
 class ASMRReplica(BaseReplica):
-    """A replica running accountable SMR with membership changes."""
+    """A replica running accountable SMR with membership changes.
 
-    CONFIRM_PROTOCOL = "asmr:confirm"
-    POFS_PROTOCOL = "asmr:pofs"
-    CATCHUP_PROTOCOL = "asmr:catchup"
+    Routing: every protocol layer registers a handler on the replica's
+    hierarchical router at construction time —
+
+    * ``("asmr", "confirm")`` / ``("asmr", "pofs")`` / ``("asmr", "catchup")``
+      for the confirmation/accountability/catch-up phases;
+    * ``("sbc",)`` as a fallback that lazily starts consensus instances other
+      replicas already began (each started instance then registers its own,
+      deeper ``("sbc", epoch, instance)`` prefix, shadowing the fallback);
+    * ``("excl",)`` / ``("incl",)`` forwarding to the active membership change
+      or buffering until one starts.
+    """
+
+    CONFIRM_TOPIC = topic("asmr", "confirm")
+    POFS_TOPIC = topic("asmr", "pofs")
+    CATCHUP_TOPIC = topic("asmr", "catchup")
+    SBC_ROOT = topic("sbc")
+    EXCLUSION_ROOT = topic("excl")
+    INCLUSION_ROOT = topic("incl")
 
     def __init__(
         self,
@@ -123,7 +136,15 @@ class ASMRReplica(BaseReplica):
         self.catchup_completed_at: Optional[float] = None
         self.catchup_blocks_verified = 0
         self._pending_confirms: Dict[int, List[Tuple[ReplicaId, Dict[str, Any]]]] = {}
-        self._buffered_membership: List[Tuple[str, ReplicaId, str, Dict[str, Any]]] = []
+        self._buffered_membership: List[Tuple[Topic, ReplicaId, str, Dict[str, Any]]] = []
+
+        router = self.router
+        router.register(self.CONFIRM_TOPIC, self._route_confirm)
+        router.register(self.POFS_TOPIC, self._route_pofs)
+        router.register(self.CATCHUP_TOPIC, self._route_catchup)
+        router.register(self.SBC_ROOT, self._route_lazy_sbc)
+        router.register(self.EXCLUSION_ROOT, self._route_membership)
+        router.register(self.INCLUSION_ROOT, self._route_membership)
 
     # -- driving the replica -----------------------------------------------------------
 
@@ -165,14 +186,13 @@ class ASMRReplica(BaseReplica):
             instance=instance,
             on_decide=self._on_sbc_decided,
             proposal_validator=self.proposal_validator,
-            protocol_prefix=self._sbc_prefix(),
+            protocol_prefix=self.SBC_ROOT.child(self.epoch),
         )
         self._sbc[instance] = component
-        self.register_component(component)
+        # The instance's ("sbc", epoch, instance) prefix shadows the lazy
+        # fallback registered at ("sbc",).
+        self.router.register(component.topic, component.handle)
         component.propose(self.proposal_factory(instance))
-
-    def _sbc_prefix(self, epoch: Optional[int] = None) -> str:
-        return f"sbc.e{self.epoch if epoch is None else epoch}"
 
     # -- ① consensus ---------------------------------------------------------------------
 
@@ -216,7 +236,7 @@ class ASMRReplica(BaseReplica):
                 for slot, cert in decision.rbc_certificates.items()
             },
         }
-        self.emit(f"{self.CONFIRM_PROTOCOL}:{decision.instance}", "CONFIRM", body)
+        self.emit(self.CONFIRM_TOPIC.child(decision.instance), "CONFIRM", body)
 
     def _handle_confirm(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
         instance = int(body.get("instance", -1))
@@ -300,7 +320,7 @@ class ASMRReplica(BaseReplica):
 
     def _broadcast_pofs(self, pofs: Iterable[ProofOfFraud]) -> None:
         body = {"pofs": [pof.to_payload() for pof in pofs]}
-        self.emit(self.POFS_PROTOCOL, "POFS", body)
+        self.emit(self.POFS_TOPIC, "POFS", body)
 
     def _handle_pofs(self, sender: ReplicaId, body: Dict[str, Any]) -> None:
         payloads = body.get("pofs", [])
@@ -362,19 +382,18 @@ class ASMRReplica(BaseReplica):
             pool=self.pool,
             on_complete=self._on_membership_complete,
         )
-        self.register_component(self.membership_change)
         self.membership_change.start()
         self._replay_buffered_membership()
 
     def _replay_buffered_membership(self) -> None:
         buffered, self._buffered_membership = self._buffered_membership, []
-        for protocol, sender, kind, body in buffered:
-            if self.membership_change is not None and self.membership_change.owns_protocol(
-                protocol
+        for message_topic, sender, kind, body in buffered:
+            if self.membership_change is not None and self.membership_change.owns_topic(
+                message_topic
             ):
-                self.membership_change.handle(protocol, sender, kind, body)
+                self.membership_change.handle(message_topic, sender, kind, body)
             else:
-                self._buffered_membership.append((protocol, sender, kind, body))
+                self._buffered_membership.append((message_topic, sender, kind, body))
 
     def _on_membership_complete(self, outcome: MembershipOutcome) -> None:
         if self.telemetry is not None:
@@ -396,8 +415,6 @@ class ASMRReplica(BaseReplica):
         # Clear the treated PoFs (Alg. 1 line 39) and prepare the next epoch.
         for culprit in outcome.excluded:
             self.pofs.pop(culprit, None)
-        if self.membership_change is not None:
-            self.unregister_component(self.membership_change)
         self.membership_change = None
         self.epoch += 1
         # Restart the aborted consensus instances with the new committee
@@ -410,7 +427,7 @@ class ASMRReplica(BaseReplica):
         for instance in aborted:
             old_component = self._sbc.pop(instance, None)
             if old_component is not None:
-                self.unregister_component(old_component)
+                self.router.unregister(old_component.topic)
             del self.instances[instance]
         if aborted:
             self.next_instance = min(self.next_instance, aborted[0])
@@ -439,7 +456,7 @@ class ASMRReplica(BaseReplica):
             )
         self.emit_to(
             replica,
-            self.CATCHUP_PROTOCOL,
+            self.CATCHUP_TOPIC,
             "CATCHUP",
             {
                 "blocks": blocks,
@@ -492,58 +509,55 @@ class ASMRReplica(BaseReplica):
 
     # -- message routing ---------------------------------------------------------------------------------------
 
-    def on_message(self, message: Message) -> None:
-        if self.fault is FaultKind.BENIGN:
-            return
-        if self.attack_strategy is not None and not self.attack_strategy.filter_incoming(
-            self, message
-        ):
-            return
-        protocol = message.protocol
-        if protocol.startswith(self.CONFIRM_PROTOCOL):
-            self._handle_confirm(message.sender, message.body)
-            return
-        if protocol == self.POFS_PROTOCOL:
-            self._handle_pofs(message.sender, message.body)
-            return
-        if protocol == self.CATCHUP_PROTOCOL:
-            self._handle_catchup(message.sender, message.body)
-            return
-        if protocol.startswith(("excl:", "incl:")):
-            if self.membership_change is not None and self.membership_change.owns_protocol(
-                protocol
-            ):
-                self.membership_change.handle(
-                    protocol, message.sender, message.kind, message.body
-                )
-            else:
-                self._buffered_membership.append(
-                    (protocol, message.sender, message.kind, message.body)
-                )
-            return
-        super().on_message(message)
+    def _route_confirm(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        self._handle_confirm(sender, body)
 
-    def on_unrouted(self, message: Message) -> None:
-        """Create consensus instances lazily when another replica started first."""
+    def _route_pofs(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        self._handle_pofs(sender, body)
+
+    def _route_catchup(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        self._handle_catchup(sender, body)
+
+    def _route_membership(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        """Forward exclusion/inclusion traffic to the active membership change,
+        buffering messages that no active change owns (other epochs, or phases
+        this replica has not reached yet)."""
+        change = self.membership_change
+        if change is not None and change.owns_topic(message_topic):
+            change.handle(message_topic, sender, kind, body)
+        else:
+            self._buffered_membership.append((message_topic, sender, kind, body))
+
+    def _route_lazy_sbc(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+        """Create consensus instances lazily when another replica started first.
+
+        Fallback at ``("sbc",)``: only reached while no started instance owns
+        the deeper ``("sbc", epoch, instance)`` prefix.
+        """
         if self.standby or self.fault is FaultKind.BENIGN:
             return
-        match = _SBC_PREFIX.match(message.protocol)
-        if match is None:
+        segments = message_topic.segments
+        if len(segments) < 3:
             return
-        epoch, instance = int(match.group(1)), int(match.group(2))
-        if epoch != self.epoch:
+        epoch, instance = segments[1], segments[2]
+        if not isinstance(epoch, int) or not isinstance(instance, int):
             return
-        if instance in self.instances or instance >= self.target_instances + 1:
+        if epoch != self.epoch or instance in self.instances:
+            return
+        if instance > self.target_instances:
             # Never seen and beyond anything we expect to run: ignore.
-            if instance in self.instances:
-                return
-        if instance not in self.instances and instance <= self.target_instances:
-            # Catch up with the instance another replica already started.
-            while self.next_instance <= instance:
-                to_start = self.next_instance
-                self.next_instance += 1
-                self._start_instance(to_start)
-            self.route(message.protocol, message.sender, message.kind, message.body)
+            return
+        # Catch up with the instance another replica already started.
+        while self.next_instance <= instance:
+            to_start = self.next_instance
+            self.next_instance += 1
+            self._start_instance(to_start)
+        if instance in self.instances:
+            # Started above: the instance's own prefix now shadows this
+            # fallback.  (When ``next_instance`` already moved past an
+            # instance this replica never ran — a replica included mid-epoch
+            # adopts the sender's view — the message is dropped, as before.)
+            self.route(message_topic, sender, kind, body)
 
     # -- metrics ---------------------------------------------------------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.common.types import ReplicaId
 from repro.consensus.host import ProtocolHost
 from repro.consensus.proofs import ProofOfFraud
 from repro.consensus.sbc import SBCDecision, SetByzantineConsensus
+from repro.network.topic import Topic, topic
 from repro.smr.pool import CandidatePool
 
 
@@ -165,25 +166,25 @@ class MembershipChange:
             instance=epoch,
             on_decide=self._on_exclusion_decided,
             proposal_validator=self._validate_exclusion_proposal,
-            protocol_prefix="excl",
+            protocol_prefix=topic("excl"),
         )
         self.inclusion: Optional[SetByzantineConsensus] = None
         self._inclusion_host: Optional[_RestrictedHost] = None
 
     # -- routing -----------------------------------------------------------------
 
-    def owns_protocol(self, protocol: str) -> bool:
-        """True when ``protocol`` belongs to this membership change epoch."""
-        if self.exclusion.owns_protocol(protocol):
+    def owns_topic(self, message_topic: Topic) -> bool:
+        """True when ``message_topic`` belongs to this membership change epoch."""
+        if self.exclusion.owns_topic(message_topic):
             return True
-        return self.inclusion is not None and self.inclusion.owns_protocol(protocol)
+        return self.inclusion is not None and self.inclusion.owns_topic(message_topic)
 
-    def handle(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
+    def handle(self, message_topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
         """Route messages to the exclusion or inclusion consensus."""
-        if self.exclusion.owns_protocol(protocol):
-            self.exclusion.handle(protocol, sender, kind, body)
-        elif self.inclusion is not None and self.inclusion.owns_protocol(protocol):
-            self.inclusion.handle(protocol, sender, kind, body)
+        if self.exclusion.owns_topic(message_topic):
+            self.exclusion.handle(message_topic, sender, kind, body)
+        elif self.inclusion is not None and self.inclusion.owns_topic(message_topic):
+            self.inclusion.handle(message_topic, sender, kind, body)
 
     # -- exclusion consensus -------------------------------------------------------
 
@@ -239,7 +240,7 @@ class MembershipChange:
             instance=self.epoch,
             on_decide=self._on_inclusion_decided,
             proposal_validator=self._validate_inclusion_proposal,
-            protocol_prefix="incl",
+            protocol_prefix=topic("incl"),
         )
         proposal = self.pool.take(len(self.excluded))
         self.inclusion.propose(list(proposal))

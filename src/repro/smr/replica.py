@@ -1,10 +1,12 @@
 """The base replica: a simulated process hosting protocol components.
 
-A :class:`BaseReplica` is both a :class:`~repro.network.simulator.Process`
-(it receives messages from the simulator) and a
+A :class:`BaseReplica` is both a :class:`~repro.network.router.RoutedProcess`
+(it receives messages from the simulator and dispatches them through its
+:class:`~repro.network.router.Router`) and a
 :class:`~repro.consensus.host.ProtocolHost` (components use it for identity,
-signing, verification and emission).  Incoming messages are routed to the
-component that owns the message's protocol name.
+signing, verification and emission).  Components register a handler per topic
+prefix — e.g. one Set Byzantine Consensus instance owns ``("sbc", epoch,
+instance)`` — and incoming messages reach them in O(topic depth) dict lookups.
 
 The emission path carries the hook where deceitful behaviour plugs in: when an
 :class:`~repro.adversary.behaviors.AttackStrategy` is installed, outgoing
@@ -14,28 +16,19 @@ Honest replicas have no strategy and broadcast uniformly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.types import FaultKind, ReplicaId
 from repro.consensus.host import ProtocolHost
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import SignedPayload, Signer
 from repro.network.message import Message
-from repro.network.simulator import Process
+from repro.network.router import RoutedProcess
+from repro.network.topic import Topic, TopicLike
 
 
-class ProtocolComponent(Protocol):
-    """Anything that can own protocol names and handle their messages."""
-
-    def owns_protocol(self, protocol: str) -> bool:
-        ...
-
-    def handle(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
-        ...
-
-
-class BaseReplica(Process, ProtocolHost):
-    """A replica process that dispatches messages to protocol components."""
+class BaseReplica(RoutedProcess, ProtocolHost):
+    """A replica process that dispatches messages to registered topic handlers."""
 
     def __init__(
         self,
@@ -45,15 +38,12 @@ class BaseReplica(Process, ProtocolHost):
         registry: KeyRegistry,
         fault: FaultKind = FaultKind.HONEST,
     ):
-        Process.__init__(self, replica_id)
+        RoutedProcess.__init__(self, replica_id)
         self._committee: List[ReplicaId] = sorted(committee)
         self._signer = signer
         self._registry = registry
         self.fault = fault
         self.attack_strategy: Optional[Any] = None
-        self._components: List[ProtocolComponent] = []
-        # Count of messages this replica chose to ignore (unknown protocol).
-        self.unrouted_messages = 0
 
     # -- ProtocolHost: identity and committee ------------------------------------
 
@@ -97,12 +87,12 @@ class BaseReplica(Process, ProtocolHost):
 
     def emit(
         self,
-        protocol: str,
+        protocol: TopicLike,
         kind: str,
         body: Dict[str, Any],
         recipients: Optional[Iterable[ReplicaId]] = None,
     ) -> None:
-        targets = list(recipients) if recipients is not None else list(self._committee)
+        targets = list(recipients) if recipients is not None else self._committee
         if self.attack_strategy is not None:
             handled = self.attack_strategy.rewrite_broadcast(
                 replica=self, protocol=protocol, kind=kind, body=body, recipients=targets
@@ -111,30 +101,17 @@ class BaseReplica(Process, ProtocolHost):
                 return
         self.broadcast(protocol, kind, body, recipients=targets)
 
-    def emit_to(self, recipient: ReplicaId, protocol: str, kind: str, body: Dict[str, Any]) -> None:
+    def emit_to(self, recipient: ReplicaId, protocol: TopicLike, kind: str, body: Dict[str, Any]) -> None:
         self.send_to(recipient, protocol, kind, body)
 
-    def component_decided(self, protocol: str, decision: Any) -> None:
+    def component_decided(self, protocol: TopicLike, decision: Any) -> None:
         """Components deliver decisions through dedicated callbacks instead."""
 
-    # -- component routing ------------------------------------------------------------------
+    # -- message routing ------------------------------------------------------------------
 
-    def register_component(self, component: ProtocolComponent) -> None:
-        """Add a component to the routing table (checked in registration order)."""
-        self._components.append(component)
-
-    def unregister_component(self, component: ProtocolComponent) -> None:
-        """Remove a component from the routing table."""
-        if component in self._components:
-            self._components.remove(component)
-
-    def route(self, protocol: str, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> bool:
-        """Route a message to the owning component; returns False when unowned."""
-        for component in self._components:
-            if component.owns_protocol(protocol):
-                component.handle(protocol, sender, kind, body)
-                return True
-        return False
+    def route(self, topic: Topic, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> bool:
+        """Dispatch a message through the router; returns False when unowned."""
+        return self.router.dispatch(topic, sender, kind, body)
 
     def on_message(self, message: Message) -> None:
         if self.fault is FaultKind.BENIGN:
@@ -145,9 +122,7 @@ class BaseReplica(Process, ProtocolHost):
             self, message
         ):
             return
-        if not self.route(message.protocol, message.sender, message.kind, message.body):
-            self.unrouted_messages += 1
-            self.on_unrouted(message)
+        RoutedProcess.on_message(self, message)
 
     def on_unrouted(self, message: Message) -> None:
-        """Hook for subclasses that create components lazily (e.g. new instances)."""
+        """Hook for subclasses that create handlers lazily (e.g. new instances)."""

@@ -299,23 +299,39 @@ def activate(registry: Optional[TelemetryRegistry]) -> Iterator[Optional[Telemet
         _CURRENT = previous
 
 
-def protocol_group(protocol: str) -> str:
+def protocol_group(protocol: Any) -> str:
     """Low-cardinality protocol label for per-message counters.
 
-    Protocol instance names embed epochs, instances and slots
-    (``sbc.e0:3:rbc:5``, ``asmr:confirm:2``, ``excl:1:bin:4``); grouping
-    strips all of that so counters aggregate by protocol layer —
-    ``sbc:rbc``, ``sbc:bin``, ``excl:rbc``, ``asmr:confirm`` — instead of
-    exploding one counter per instance.
+    Protocol topics embed epochs, instances and slots
+    (``("sbc", 0, 3, "rbc", 5)``, ``("asmr", "confirm", 2)``,
+    ``("excl", 1, "bin", 4)``); grouping strips all of that so counters
+    aggregate by protocol layer — ``sbc:rbc``, ``sbc:bin``, ``excl:rbc``,
+    ``asmr:confirm`` — instead of exploding one counter per instance.
+
+    Accepts a :class:`~repro.network.topic.Topic` (the hot path — the group
+    is computed once per interned topic and cached on it) or a legacy
+    protocol string.
     """
-    head, _, rest = protocol.partition(":")
-    # "sbc.e3" -> "sbc": the epoch is run-specific, not a layer.
+    from repro.network.topic import Topic, as_topic
+
+    if isinstance(protocol, Topic):
+        group = protocol._group
+        if group is None:
+            group = _group_of_segments(protocol.segments)
+            protocol._group = group
+        return group
+    return _group_of_segments(as_topic(protocol).segments)
+
+
+def _group_of_segments(segments: Tuple[Any, ...]) -> str:
+    head = str(segments[0])
+    # Legacy "sbc.e3" heads: the epoch is run-specific, not a layer.
     head = head.partition(".")[0]
-    if ":rbc:" in protocol:
+    rest = segments[1:]
+    if "rbc" in rest:
         return f"{head}:rbc"
-    if ":bin:" in protocol:
+    if "bin" in rest:
         return f"{head}:bin"
-    if head == "asmr":
-        sub = rest.partition(":")[0]
-        return f"asmr:{sub}" if sub else "asmr"
+    if head == "asmr" and rest:
+        return f"asmr:{rest[0]}"
     return head

@@ -13,7 +13,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.adversary.attacks import BinaryConsensusAttack, ReliableBroadcastAttack
+from repro.adversary.attacks import (
+    RBC_ATTACK_NAMES,
+    BinaryConsensusAttack,
+    ReliableBroadcastAttack,
+)
 from repro.adversary.coalition import CoalitionPlan
 from repro.common.config import FaultConfig, ProtocolConfig, SimulationConfig
 from repro.common.errors import ConfigurationError
@@ -59,6 +63,12 @@ class AttackSpec:
         if isinstance(self.cross_partition_delay, DelayModel):
             return self.cross_partition_delay
         return delay_model_from_name(self.cross_partition_delay)
+
+    @property
+    def is_rbc_attack(self) -> bool:
+        """True for the reliable broadcast attack (same name set as
+        :func:`repro.adversary.attacks.attack_from_name`)."""
+        return self.kind.strip().lower() in RBC_ATTACK_NAMES
 
 
 @dataclasses.dataclass
@@ -236,7 +246,7 @@ class ZLBSystem:
         # The reliable broadcast attack needs funded attacker accounts whose
         # UTXOs the coalition double-spends towards different partitions.
         attack_variants: Dict[ReplicaId, List[Any]] = {}
-        if attack is not None and attack.kind.startswith("r"):
+        if attack is not None and attack.is_rbc_attack:
             attack_variants, attacker_allocations = _build_double_spend_variants(
                 plan, amount=attack.double_spend_amount, seed=seed
             )
@@ -245,7 +255,7 @@ class ZLBSystem:
         # Shared attack strategy object for the whole coalition.
         strategy = None
         if attack is not None:
-            if attack.kind.startswith("r"):
+            if attack.is_rbc_attack:
                 strategy = ReliableBroadcastAttack(plan, attack_variants)
             else:
                 strategy = BinaryConsensusAttack(plan)

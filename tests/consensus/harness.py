@@ -9,21 +9,23 @@ from repro.common.types import FaultKind
 from repro.crypto.keys import KeyRegistry
 from repro.network.delays import ConstantDelay, DelayModel
 from repro.network.simulator import NetworkSimulator
+from repro.network.topic import TopicLike, as_topic
 from repro.smr.replica import BaseReplica
 
 
-class SingleContextAdapter:
-    """Adapts an RBC or binary consensus component to the routing interface."""
+def attach_single_context(replica: BaseReplica, component, context: TopicLike) -> None:
+    """Register an RBC/binary component (``handle(sender, kind, body)``) at
+    its topic on the replica's router."""
+    replica.router.register(
+        as_topic(context),
+        lambda topic, sender, kind, body: component.handle(sender, kind, body),
+    )
 
-    def __init__(self, component, context: str):
-        self.component = component
-        self.context = context
 
-    def owns_protocol(self, protocol: str) -> bool:
-        return protocol == self.context
-
-    def handle(self, protocol: str, sender, kind: str, body: Dict[str, Any]) -> None:
-        self.component.handle(sender, kind, body)
+def attach_component(replica: BaseReplica, component) -> None:
+    """Register a topic-owning component (``.topic`` + ``handle(topic, ...)``),
+    e.g. a Set Byzantine Consensus instance, on the replica's router."""
+    replica.router.register(component.topic, component.handle)
 
 
 def build_cluster(

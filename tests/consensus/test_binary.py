@@ -6,7 +6,7 @@ from repro.common.types import FaultKind
 from repro.consensus.binary import BinaryConsensus, value_digest
 from repro.network.delays import UniformDelay
 
-from tests.consensus.harness import SingleContextAdapter, build_cluster
+from tests.consensus.harness import attach_single_context, build_cluster
 
 
 def _attach_binary(replicas, context, decisions):
@@ -19,7 +19,7 @@ def _attach_binary(replicas, context, decisions):
                 rid, (value, cert)
             ),
         )
-        replica.register_component(SingleContextAdapter(component, context))
+        attach_single_context(replica, component, context)
         components.append(component)
     return components
 

@@ -6,7 +6,7 @@ from repro.common.types import FaultKind
 from repro.network.delays import UniformDelay
 from repro.rbc.bracha import ReliableBroadcast
 
-from tests.consensus.harness import SingleContextAdapter, build_cluster
+from tests.consensus.harness import attach_single_context, build_cluster
 
 
 def _attach_rbc(replicas, context, proposer, deliveries):
@@ -20,7 +20,7 @@ def _attach_rbc(replicas, context, proposer, deliveries):
                 rid, (p, value, cert)
             ),
         )
-        replica.register_component(SingleContextAdapter(component, context))
+        attach_single_context(replica, component, context)
         components.append(component)
     return components
 

@@ -6,7 +6,7 @@ from repro.common.types import FaultKind
 from repro.consensus.sbc import SetByzantineConsensus
 from repro.network.delays import UniformDelay
 
-from tests.consensus.harness import build_cluster
+from tests.consensus.harness import attach_component, build_cluster
 
 
 def _attach_sbc(replicas, instance, decisions, validator=None):
@@ -20,7 +20,7 @@ def _attach_sbc(replicas, instance, decisions, validator=None):
             ),
             proposal_validator=validator,
         )
-        replica.register_component(component)
+        attach_component(replica, component)
         components.append(component)
     return components
 

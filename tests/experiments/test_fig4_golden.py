@@ -1,0 +1,68 @@
+"""Golden dispatch-parity test for the Topic/Router refactor.
+
+One fixed-seed Figure 4 cell (n = 9, binary consensus attack, 1000 ms
+cross-partition delay) must keep producing **exactly** the outcomes recorded
+from the pre-refactor string-demux implementation — decisions, disagreement
+counts, membership changes, message totals and even the final simulated clock
+to the last float bit.  The routing layer, the fan-out-aware broadcast events
+and every memoisation added since are required to be behaviour-preserving;
+this test is the tripwire.
+
+If this test fails after an *intentional* semantic change to the protocol
+stack, re-record the golden values (see the module-level dict) in the same
+commit and call the change out in the commit message.
+"""
+
+from repro.experiments.fig4_disagreements import run_attack_cell
+
+#: Outcomes of the golden cell, recorded from the seed implementation
+#: (string-keyed demux, per-recipient heap events) at seed 1.
+GOLDEN = {
+    "disagreements": 2,
+    "disagreement_instances": [0],
+    "disagreeing_pairs": [(0, 0), (0, 2)],
+    "excluded": [0, 1, 2, 3],
+    "included": [9, 10, 11, 12],
+    "decided_instances": {
+        0: [0, 1],
+        1: [0, 1],
+        2: [0, 1],
+        3: [0, 1],
+        4: [0, 1],
+        5: [0],
+        6: [0, 1],
+        7: [],
+        8: [0, 1],
+        9: [],
+        10: [],
+        11: [],
+        12: [],
+    },
+    "committed_transactions": 78,
+    "messages_sent": 11685,
+    "messages_delivered": 11685,
+    "simulated_time": 16.686154595607622,
+}
+
+
+def test_fig4_binary_attack_cell_matches_golden_outcomes():
+    result = run_attack_cell(
+        n=9, attack_kind="binary", cross_partition_delay="1000ms", seed=1
+    )
+    assert result.disagreements == GOLDEN["disagreements"]
+    assert sorted(result.disagreement_instances) == GOLDEN["disagreement_instances"]
+    assert sorted(result.disagreeing_pairs) == GOLDEN["disagreeing_pairs"]
+    assert result.excluded == GOLDEN["excluded"]
+    assert result.included == GOLDEN["included"]
+    decided = {
+        replica_id: detail["decided_instances"]
+        for replica_id, detail in result.per_replica.items()
+    }
+    assert decided == GOLDEN["decided_instances"]
+    assert result.committed_transactions == GOLDEN["committed_transactions"]
+    # Message totals and the final clock pin the event schedule itself: the
+    # fan-out-aware broadcast kernel must consume the seeded RNG in exactly
+    # the per-recipient order of the original implementation.
+    assert result.messages_sent == GOLDEN["messages_sent"]
+    assert result.messages_delivered == GOLDEN["messages_delivered"]
+    assert result.simulated_time == GOLDEN["simulated_time"]

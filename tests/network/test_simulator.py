@@ -221,6 +221,124 @@ class TestDisconnect:
         assert sim.messages_dropped == 1
 
 
+class TestBroadcastFanOut:
+    """The fan-out-aware broadcast kernel and the cached membership view."""
+
+    def test_single_heap_event_serves_all_recipients(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(6)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("proto", "HI", {"x": 1})
+        # One queued heap entry, but six pending deliveries.
+        assert len(sim._queue) == 1
+        assert sim.pending_events() == 6
+        sim.run()
+        assert all(len(p.received) == 1 for p in processes)
+        assert sim.messages_sent == 6
+        assert sim.messages_delivered == 6
+
+    def test_membership_view_tracks_add_and_remove(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        for i in (3, 1, 2):
+            sim.add_process(Recorder(i))
+        assert sim.membership_view() == (1, 2, 3)
+        late = Recorder(0)
+        sim.add_process(late)
+        assert sim.membership_view() == (0, 1, 2, 3)
+        sim.remove_process(2)
+        assert sim.membership_view() == (0, 1, 3)
+        assert sim.replica_ids() == [0, 1, 3]
+
+    def test_broadcast_after_membership_change_uses_fresh_view(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(3)]
+        for p in processes:
+            sim.add_process(p)
+        sim.remove_process(2)
+        processes[0].broadcast("proto", "HI", {})
+        sim.run()
+        assert len(processes[0].received) == 1
+        assert len(processes[1].received) == 1
+        assert len(processes[2].received) == 0
+
+    def test_equivocating_restricted_broadcasts(self):
+        """Regression: per-partition (restricted-recipient) broadcasts must
+        keep delivering different bodies to different partitions — the seam
+        every coalition attack equivocates through."""
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(5)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("bin:0:0", "AUX", {"value": 0}, recipients=[1, 2])
+        processes[0].broadcast("bin:0:0", "AUX", {"value": 1}, recipients=[3, 4])
+        sim.run()
+        values = {
+            p.replica_id: [m.body["value"] for _, m in p.received] for p in processes
+        }
+        assert values == {0: [], 1: [0], 2: [0], 3: [1], 4: [1]}
+
+    def test_broadcast_skips_disconnected_recipients(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(4)]
+        for p in processes:
+            sim.add_process(p)
+        sim.disconnect(2)
+        processes[0].broadcast("proto", "HI", {})
+        sim.run()
+        assert sim.messages_dropped == 1
+        assert len(processes[2].received) == 0
+        assert len(processes[1].received) == 1
+
+    def test_empty_recipient_list_is_noop(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        sim.add_process(Recorder(0))
+        sim.process_for(0).broadcast("proto", "HI", {}, recipients=[])
+        assert sim.pending_events() == 0
+        sim.run()
+        assert sim.messages_sent == 0
+
+
+class TestPendingEventsCounter:
+    """pending_events() is a live O(1) counter, not an O(n) queue scan."""
+
+    def test_counts_timers_and_deliveries(self):
+        sim = NetworkSimulator(ConstantDelay(0.5))
+        a, b = Recorder(0), Recorder(1)
+        sim.add_process(a)
+        sim.add_process(b)
+        sim.schedule(1.0, lambda: None)
+        a.send_to(1, "p", "X", {})
+        assert sim.pending_events() == 2
+
+    def test_cancelled_timer_leaves_count(self):
+        sim = NetworkSimulator()
+        keep = sim.schedule(0.5, lambda: None)
+        drop = sim.schedule(0.5, lambda: None)
+        sim.cancel(drop)
+        assert sim.pending_events() == 1
+        # Cancelling twice must not double-decrement.
+        sim.cancel(drop)
+        assert sim.pending_events() == 1
+        sim.cancel(keep)
+        assert sim.pending_events() == 0
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_count_drains_with_run(self):
+        sim = NetworkSimulator(ConstantDelay(0.01))
+        processes = [Recorder(i) for i in range(4)]
+        for p in processes:
+            sim.add_process(p)
+        processes[0].broadcast("proto", "HI", {})
+        sim.schedule(5.0, lambda: None)
+        assert sim.pending_events() == 5
+        sim.run(until=1.0)
+        assert sim.pending_events() == 1
+        sim.run(until=10.0)
+        assert sim.pending_events() == 0
+
+
 class TestDeterminism:
     def _run_once(self, seed):
         sim = NetworkSimulator(
