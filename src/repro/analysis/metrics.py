@@ -80,6 +80,28 @@ class RunMetrics:
     excluded_replicas: int = 0
     included_replicas: int = 0
     deposit_shortfall: int = 0
+    #: Net value the coalition actually realised through double spends (the
+    #: deposit refunds honest replicas paid for genuinely double-spent inputs,
+    #: net of later recoveries) — *not* a bound, the measured gain.
+    realized_gain: int = 0
+    #: Value seized back from the coalition: slashed deposit accounts plus
+    #: confiscated outputs to punished addresses.
+    seized_deposit: int = 0
+
+    @property
+    def attacker_net_gain(self) -> int:
+        """The coalition's profit after recovery: realised gain minus seizures.
+
+        The paper's zero-loss claim is exactly that this is ≤ 0 in
+        expectation for a correctly-sized deposit policy.
+        """
+        return self.realized_gain - self.seized_deposit
+
+    @property
+    def zero_loss(self) -> bool:
+        """True when the seized deposits covered everything the coalition
+        actually realised (and the shared deposit never went negative)."""
+        return self.attacker_net_gain <= 0 and self.deposit_shortfall == 0
 
     @property
     def throughput_tx_per_sec(self) -> float:
@@ -110,6 +132,9 @@ class RunMetrics:
             "excluded_replicas": self.excluded_replicas,
             "included_replicas": self.included_replicas,
             "deposit_shortfall": self.deposit_shortfall,
+            "realized_gain": self.realized_gain,
+            "seized_deposit": self.seized_deposit,
+            "attacker_net_gain": self.attacker_net_gain,
         }
 
 

@@ -64,6 +64,12 @@ class SBCDecision:
         default_factory=dict
     )
     decided_at: float = 0.0
+    #: Slots whose payload the *local* validator rejected but the committee
+    #: decided 1 for anyway (stateful validators can disagree across branches).
+    #: Consumers that rely on the "decided payloads passed my validator"
+    #: invariant — e.g. a commit path skipping signature re-verification —
+    #: must re-screen these payloads in full.
+    unvalidated_slots: Tuple[ReplicaId, ...] = ()
     #: Memoised digest — a decision is immutable once built, and the digest is
     #: re-read on every confirmation exchange (a hot path at large n).
     _digest: Optional[str] = dataclasses.field(
@@ -141,6 +147,14 @@ class SetByzantineConsensus:
         self.decided = False
         self.decision: Optional[SBCDecision] = None
         self._proposals: Dict[ReplicaId, Any] = {}
+        #: Deliveries the local validator rejected, kept as (value, rbc_cert):
+        #: adopted into the decision only if the committee decides 1 anyway.
+        self._rejected_proposals: Dict[ReplicaId, Tuple[Any, Certificate]] = {}
+        #: Slots adopted from ``_rejected_proposals`` — instance state, not a
+        #: completion-pass local: an adoption can happen on a pass that still
+        #: returns early (another slot's RBC pending), and the flag must
+        #: survive into whichever later pass finally builds the decision.
+        self._adopted_slots: Set[ReplicaId] = set()
         self._bits: Dict[ReplicaId, int] = {}
         self._binary_certs: Dict[ReplicaId, Certificate] = {}
         self._rbc_certs: Dict[ReplicaId, Certificate] = {}
@@ -205,6 +219,17 @@ class SetByzantineConsensus:
         if self.proposal_validator is not None and not self.proposal_validator(
             proposer, value
         ):
+            # Do not endorse the proposal (this replica never votes 1 for it),
+            # but retain the delivered content: validators can be stateful
+            # (branch-relative execution checks), so a quorum whose state
+            # differs may still decide 1 for the slot — the decision must then
+            # complete here too, and the commit path's execution screening
+            # deterministically drops whatever does not apply.  Without this,
+            # a decided-1 slot whose only RBC delivery was rejected would
+            # stall the instance forever.
+            if proposer not in self._proposals and proposer not in self._rejected_proposals:
+                self._rejected_proposals[proposer] = (value, certificate)
+                self._maybe_complete()
             return
         if proposer in self._proposals:
             return
@@ -257,6 +282,18 @@ class SetByzantineConsensus:
             return
         for slot, bit in self._bits.items():
             if bit == 1 and slot not in self._proposals:
+                if slot in self._rejected_proposals:
+                    # The committee decided 1 despite our validator rejecting
+                    # the delivery (stateful validators may disagree across
+                    # branches): adopt the content so the decision completes.
+                    # The slot is flagged as unvalidated on the decision —
+                    # consumers must re-screen it (shape, signatures,
+                    # execution) rather than trust the usual invariant.
+                    value, certificate = self._rejected_proposals.pop(slot)
+                    self._proposals[slot] = value
+                    self._rbc_certs[slot] = certificate
+                    self._adopted_slots.add(slot)
+                    continue
                 # The proposal content has not reached us yet; wait for the
                 # reliable broadcast to deliver it.
                 return
@@ -293,5 +330,6 @@ class SetByzantineConsensus:
                 if self._bits.get(slot) == 1
             },
             decided_at=self.host.now,
+            unvalidated_slots=tuple(sorted(self._adopted_slots)),
         )
         self.on_decide(self.decision)

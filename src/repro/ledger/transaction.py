@@ -88,6 +88,14 @@ class Transaction:
     _canonical: Optional[bytes] = dataclasses.field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Memoised full-verification outcome, fingerprinted by the signature and
+    #: key-material counts: builders add signatures after construction (cache
+    #: miss) and tests strip them (count changes, cache miss again).  Replacing
+    #: a signature value in place without changing the counts would evade the
+    #: fingerprint — nothing in the simulator mutates signatures that way.
+    _valid_cache: Optional[Tuple[int, int, bool]] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- identity ------------------------------------------------------------
 
@@ -219,6 +227,22 @@ class Transaction:
         except InvalidTransactionError:
             return False
         return True
+
+    def is_valid_cached(self) -> bool:
+        """Memoised :meth:`is_valid`.
+
+        The simulator passes transaction objects by reference, so the same
+        transaction is re-verified at every replica it reaches (proposal
+        validation, commit screening, merges).  Signature verification
+        dominates that cost; one global check per object is enough.
+        """
+        fingerprint = (len(self.signatures), len(self.public_materials))
+        cached = self._valid_cache
+        if cached is not None and cached[:2] == fingerprint:
+            return cached[2]
+        ok = self.is_valid()
+        self._valid_cache = (fingerprint[0], fingerprint[1], ok)
+        return ok
 
 
 def build_transfer(

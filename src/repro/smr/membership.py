@@ -217,6 +217,10 @@ class MembershipChange:
             )
         culprit_set: Set[ReplicaId] = set()
         for payload_list in decision.decided_payloads():
+            if not isinstance(payload_list, list):
+                # Adopted-unvalidated slots (SBCDecision.unvalidated_slots)
+                # may carry arbitrary shapes; PoFs are re-verified below.
+                continue
             for payload in payload_list:
                 try:
                     pof = ProofOfFraud.from_payload(payload)
@@ -254,7 +258,13 @@ class MembershipChange:
         return all(isinstance(candidate, int) for candidate in value)
 
     def _on_inclusion_decided(self, decision: SBCDecision) -> None:
-        decided_lists = [list(p) for p in decision.decided_payloads()]
+        # Re-screen shape: adopted-unvalidated slots bypass the proposal
+        # validator, and choose_included must only ever see candidate ids.
+        decided_lists = [
+            [candidate for candidate in p if isinstance(candidate, int)]
+            for p in decision.decided_payloads()
+            if isinstance(p, list)
+        ]
         self.included = choose_included(len(self.excluded), decided_lists)
         self.pool.mark_included(self.included)
         assert self.exclusion_decided_at is not None

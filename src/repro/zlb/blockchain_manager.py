@@ -3,29 +3,74 @@
 The BM sits between the payment application and ASMR:
 
 * it batches client transactions from the mempool into proposals;
-* it turns SBC decisions into blocks appended to the local branch;
+* it validates proposals *statefully* against its branch's UTXO view before
+  consensus accepts them (inputs must exist, no intra-proposal double spends);
+* it turns SBC decisions into blocks appended to the local branch, dropping —
+  and counting — anything that does not execute;
 * when the confirmation phase reveals a conflicting decision, it merges the
   other branch's transactions (Alg. 2) instead of discarding them, funding
-  conflicting inputs from the deposit;
+  *genuinely* double-spent inputs from the deposit and rejecting phantom ones;
 * when the membership change excludes deceitful replicas, it slashes their
   deposit accounts (the application punishment of Alg. 1 line 38).
+
+Rejections at every stage are tallied in :class:`LedgerStats` and mirrored to
+telemetry counters when a registry is attached (``ledger.*``), so experiment
+reports can show how much adversarial traffic the execution layer filtered.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.common.errors import InvalidTransactionError
 from repro.common.types import ReplicaId
 from repro.consensus.sbc import SBCDecision
 from repro.ledger.block import Block
 from repro.ledger.mempool import Mempool
-from repro.ledger.merge import BlockchainRecord, MergeOutcome
+from repro.ledger.merge import AppendReport, BlockchainRecord, MergeOutcome
 from repro.ledger.transaction import Transaction
+from repro.ledger.utxo import UTXO
 
 
 def replica_deposit_account(replica: ReplicaId) -> str:
     """Deterministic address of the on-chain deposit account of a replica."""
     return f"deposit-replica-{replica}"
+
+
+def _flatten_payloads(payloads: Iterable[Any]) -> List[Transaction]:
+    """Flatten decided/remote proposal payloads into a deduplicated
+    transaction list, skipping anything that is not a list of transactions
+    (adopted-unvalidated slots may carry arbitrary shapes)."""
+    transactions: List[Transaction] = []
+    seen: set = set()
+    for payload in payloads:
+        if not isinstance(payload, list):
+            continue
+        for transaction in payload:
+            if isinstance(transaction, Transaction) and transaction.tx_id not in seen:
+                seen.add(transaction.tx_id)
+                transactions.append(transaction)
+    return transactions
+
+
+@dataclasses.dataclass
+class LedgerStats:
+    """Counters of everything the execution-validated pipeline filtered."""
+
+    proposals_validated: int = 0
+    proposals_rejected: int = 0
+    commit_duplicate: int = 0
+    commit_invalid: int = 0
+    commit_conflicting: int = 0
+    commit_phantom: int = 0
+    merge_rejected: int = 0
+    merge_phantom_inputs: int = 0
+
+    @property
+    def commit_rejected(self) -> int:
+        """Transactions dropped on the commit path (duplicates excluded)."""
+        return self.commit_invalid + self.commit_conflicting + self.commit_phantom
 
 
 class BlockchainManager:
@@ -37,11 +82,14 @@ class BlockchainManager:
         genesis_allocations: Sequence[Tuple[str, int]] = (),
         initial_deposit: int = 0,
         batch_size: int = 10_000,
+        genesis: Optional[Tuple[Block, Sequence[UTXO]]] = None,
     ):
         self.replica_id = replica_id
         self.batch_size = batch_size
         self.record = BlockchainRecord(
-            genesis_allocations=genesis_allocations, initial_deposit=initial_deposit
+            genesis_allocations=genesis_allocations,
+            initial_deposit=initial_deposit,
+            genesis=genesis,
         )
         self.mempool = Mempool()
         #: Blocks appended from local SBC decisions, indexed by ASMR instance.
@@ -49,6 +97,10 @@ class BlockchainManager:
         #: Merge outcomes from reconciliations, in arrival order.
         self.merge_outcomes: List[MergeOutcome] = []
         self.transactions_committed = 0
+        self.stats = LedgerStats()
+        #: Telemetry registry mirrored by the stats counters; attached by the
+        #: owning replica at bind time (None = disabled, zero overhead).
+        self.telemetry = None
 
     # -- client-facing --------------------------------------------------------------
 
@@ -71,55 +123,135 @@ class BlockchainManager:
         return self.mempool.peek_batch(self.batch_size)
 
     def validate_proposal(self, proposer: ReplicaId, payload: Any) -> bool:
-        """SBC proposal validator: proposals must be lists of valid transactions."""
+        """SBC proposal validator — structural *and* execution validation.
+
+        A proposal is acceptable when it is a list of signed, well-formed
+        transactions that applies cleanly to this replica's branch UTXO view:
+        every input must reference a spendable output (or one created earlier
+        in the same proposal) and no two transactions may consume the same
+        output.  Transactions already committed on this branch are tolerated
+        as no-ops: a slow proposer re-broadcasting a decided batch is not
+        equivocation, and the commit path deduplicates them anyway.
+        """
         if not isinstance(payload, list):
+            self._reject_proposal()
             return False
+        view = self.record.utxos.overlay()
         for item in payload:
             if not isinstance(item, Transaction):
+                self._reject_proposal()
                 return False
-            if not item.is_valid():
+            if self.record.contains_tx(item.tx_id):
+                continue
+            if not item.is_valid_cached():
+                self._reject_proposal()
                 return False
+            if not view.can_apply(item):
+                self._reject_proposal()
+                return False
+            try:
+                view.apply_transaction(item)
+            except InvalidTransactionError:
+                # Input exists but its recorded account/amount disagree with
+                # the branch's UTXO table.
+                self._reject_proposal()
+                return False
+        self.stats.proposals_validated += 1
         return True
 
+    def _reject_proposal(self) -> None:
+        self.stats.proposals_rejected += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("ledger.proposals_rejected").inc()
+
     def commit_decision(self, instance: int, decision: SBCDecision) -> Block:
-        """Turn an SBC decision into the next block on the local branch."""
-        transactions: List[Transaction] = []
-        seen: set = set()
-        for payload in decision.decided_payloads():
-            for transaction in payload:
-                if isinstance(transaction, Transaction) and transaction.tx_id not in seen:
-                    seen.add(transaction.tx_id)
-                    transactions.append(transaction)
+        """Turn an SBC decision into the next block on the local branch.
+
+        The decided union is screened against the branch state; signatures are
+        not re-verified when every decided payload passed
+        :meth:`validate_proposal` at this replica.  A decision carrying
+        *unvalidated* slots (payloads the local validator rejected but the
+        committee adopted — see :attr:`SBCDecision.unvalidated_slots`) loses
+        that invariant, so the whole batch is re-screened in full.  In every
+        case duplicates, intra-block conflicts and non-executable
+        transactions are dropped and counted.
+        """
+        transactions = _flatten_payloads(decision.decided_payloads())
+        report = self.record.filter_for_append(
+            transactions, assume_verified=not decision.unvalidated_slots
+        )
+        self._count_commit_report(report)
         block = self.record.append_block(
-            transactions,
+            report.accepted,
             proposers=tuple(decision.included_slots()),
             timestamp=decision.decided_at,
+            validate=False,
         )
         self.blocks_by_instance[instance] = block
         self.mempool.remove_decided(block.tx_ids())
         self.transactions_committed += len(block.transactions)
         return block
 
+    def _count_commit_report(self, report: AppendReport) -> None:
+        stats = self.stats
+        stats.commit_duplicate += report.duplicate
+        stats.commit_invalid += report.invalid
+        stats.commit_conflicting += report.conflicting
+        stats.commit_phantom += report.phantom
+        if self.telemetry is not None and report.rejected:
+            for reason, count in (
+                ("invalid", report.invalid),
+                ("conflicting", report.conflicting),
+                ("phantom", report.phantom),
+            ):
+                if count:
+                    self.telemetry.counter(
+                        "ledger.commit_rejected", reason=reason
+                    ).inc(count)
+
     def merge_remote_decision(
         self, instance: int, remote_proposals: Dict[ReplicaId, Any]
     ) -> MergeOutcome:
-        """Reconciliation: merge a conflicting decision's transactions (Alg. 2)."""
-        transactions: List[Transaction] = []
-        seen: set = set()
-        for payload in remote_proposals.values():
-            if not isinstance(payload, list):
-                continue
-            for transaction in payload:
-                if isinstance(transaction, Transaction) and transaction.tx_id not in seen:
-                    seen.add(transaction.tx_id)
-                    transactions.append(transaction)
+        """Reconciliation: merge a conflicting decision's transactions (Alg. 2).
+
+        The remote branch forked from ours at the parent of our block for
+        ``instance``, so its transactions are merged against a copy-on-write
+        view based there: inputs genuinely spent on our branch are funded from
+        the deposit (the coalition's realised gain), phantom inputs are
+        rejected outright.
+        """
+        transactions = _flatten_payloads(remote_proposals.values())
+        local_block = self.blocks_by_instance.get(instance)
+        # Without a local block for the instance the fork point is unknown:
+        # pass None (merge against current state) rather than the current
+        # height, which view_at would treat as "rewind everything journalled
+        # since the last block" (prior merges, punishments).
+        fork_height = local_block.index - 1 if local_block is not None else None
         conflicting_block = Block(
             index=instance + 1,
             parent_hash="remote-branch",
             transactions=tuple(transactions),
         )
-        outcome = self.record.merge_block(conflicting_block)
+        outcome = self.record.merge_block(conflicting_block, fork_height=fork_height)
         self.merge_outcomes.append(outcome)
+        self.stats.merge_rejected += outcome.rejected_transactions
+        self.stats.merge_phantom_inputs += outcome.phantom_inputs
+        if self.telemetry is not None:
+            if outcome.rejected_transactions:
+                self.telemetry.counter("ledger.merge_rejected").inc(
+                    outcome.rejected_transactions
+                )
+            if outcome.phantom_inputs:
+                self.telemetry.counter("ledger.merge_phantom_inputs").inc(
+                    outcome.phantom_inputs
+                )
+            if outcome.realized_gain:
+                # Per-merge realised gain can be negative (RefundInputs
+                # recoveries), so the cumulative net is a gauge, not a
+                # monotonic counter.
+                self.telemetry.gauge(
+                    "ledger.realized_gain", replica=self.replica_id
+                ).set(self.record.realized_attack_gain)
         self.mempool.remove_decided(conflicting_block.tx_ids())
         self.transactions_committed += outcome.merged_transactions
         return outcome
@@ -129,6 +261,8 @@ class BlockchainManager:
         total = 0
         for replica in replicas:
             total += self.record.punish_account(replica_deposit_account(replica))
+        if self.telemetry is not None and total:
+            self.telemetry.counter("ledger.seized_deposit").inc(total)
         return total
 
     # -- observability -------------------------------------------------------------------------
@@ -137,10 +271,17 @@ class BlockchainManager:
         """Current block height of the local branch."""
         return self.record.height
 
+    def realized_attack_gain(self) -> int:
+        """Net value the coalition actually realised against this branch."""
+        return self.record.realized_attack_gain
+
     def summary(self) -> Dict[str, int]:
         """Counts describing the local chain state."""
         summary = self.record.summary()
         summary["mempool"] = len(self.mempool)
         summary["committed_transactions"] = self.transactions_committed
         summary["merges"] = len(self.merge_outcomes)
+        summary["proposals_rejected"] = self.stats.proposals_rejected
+        summary["commit_rejected"] = self.stats.commit_rejected
+        summary["merge_rejected"] = self.stats.merge_rejected
         return summary

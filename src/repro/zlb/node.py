@@ -52,6 +52,9 @@ class ZLBReplica(ASMRReplica):
     def bind(self, simulator) -> None:
         super().bind(simulator)
         telemetry = self.telemetry
+        # The manager mirrors its LedgerStats rejection counters to telemetry
+        # once a registry is attached (stays None — zero overhead — otherwise).
+        self.blockchain.telemetry = telemetry
         if telemetry is not None:
             # Mempool occupancy gauges, updated by the pool itself on every
             # mutation (the ``gauge_hook`` satellite of the mempool).

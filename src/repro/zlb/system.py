@@ -21,7 +21,7 @@ from repro.adversary.attacks import (
 from repro.adversary.coalition import CoalitionPlan
 from repro.common.config import FaultConfig, ProtocolConfig, SimulationConfig
 from repro.common.errors import ConfigurationError
-from repro.common.types import FaultKind, ReplicaId
+from repro.common.types import FaultKind, ReplicaId, recovery_threshold
 from repro.crypto.keys import KeyRegistry
 from repro.ledger.transaction import Transaction, build_transfer
 from repro.ledger.utxo import UTXOTable
@@ -91,6 +91,11 @@ class SystemResult:
     final_committee: List[ReplicaId]
     committed_transactions: int
     deposit_shortfall: int
+    #: Net value the coalition actually realised through double spends, as
+    #: accounted by the honest replicas' merges (0 when no attack landed).
+    realized_gain: int = 0
+    #: Value seized from the coalition (slashed deposits plus confiscations).
+    seized_deposit: int = 0
     #: Telemetry snapshot of the run (None when telemetry is disabled).
     telemetry: Optional[Dict[str, Any]] = None
 
@@ -101,8 +106,10 @@ class SystemResult:
 
     @property
     def recovered(self) -> bool:
-        """True when a membership change completed and excluded ≥ n/3 replicas."""
-        return bool(self.excluded)
+        """True when a membership change completed and excluded ≥ ceil(n/3)
+        replicas — the recovery threshold of Alg. 1 (a smaller exclusion
+        cannot have restored the < n/3 deceitful ratio the paper requires)."""
+        return len(self.excluded) >= recovery_threshold(self.n)
 
     @property
     def throughput_tx_per_sec(self) -> float:
@@ -127,6 +134,8 @@ class SystemResult:
             committed_transactions=self.committed_transactions,
             disagreements=self.disagreements,
             disagreement_instances=len(self.disagreement_instances),
+            realized_gain=self.realized_gain,
+            seized_deposit=self.seized_deposit,
             detect_time=self.detect_time,
             exclusion_time=self.exclusion_time,
             inclusion_time=self.inclusion_time,
@@ -244,13 +253,34 @@ class ZLBSystem:
             )
 
         # The reliable broadcast attack needs funded attacker accounts whose
-        # UTXOs the coalition double-spends towards different partitions.
-        attack_variants: Dict[ReplicaId, List[Any]] = {}
+        # UTXOs the coalition double-spends towards different partitions, so
+        # their allocations must be part of the deployment genesis *before*
+        # it is built: genesis UTXO ids depend on each allocation's position.
+        attacker_wallets: Dict[ReplicaId, Wallet] = {}
         if attack is not None and attack.is_rbc_attack:
-            attack_variants, attacker_allocations = _build_double_spend_variants(
-                plan, amount=attack.double_spend_amount, seed=seed
+            for slot in sorted(plan.deceitful):
+                wallet = Wallet(name=f"attacker-{seed}-{slot}")
+                attacker_wallets[slot] = wallet
+                allocations.append((wallet.address, attack.double_spend_amount))
+
+        # Build the deployment genesis once and share it across every
+        # replica's blockchain manager (hashing ~thousands of genesis
+        # transactions per replica was pure construction overhead).
+        genesis_block, genesis_utxos = make_genesis_block(allocations)
+        deployment_view = UTXOTable(genesis_utxos)
+
+        # Attack variants spend *real* coins: the conflicting transfers are
+        # built from the deployment genesis UTXOs the coalition actually owns,
+        # so every partition commits a transaction contesting a genuine output
+        # and the merge accounts the coalition's actually-realised gain.
+        attack_variants: Dict[ReplicaId, List[Any]] = {}
+        if attacker_wallets:
+            attack_variants = _build_double_spend_variants(
+                plan,
+                wallets=attacker_wallets,
+                view=deployment_view,
+                amount=attack.double_spend_amount,
             )
-            allocations.extend(attacker_allocations)
 
         # Shared attack strategy object for the whole coalition.
         strategy = None
@@ -269,9 +299,9 @@ class ZLBSystem:
             )
             blockchain = BlockchainManager(
                 replica_id=replica_id,
-                genesis_allocations=allocations,
                 initial_deposit=deposit_policy.coalition_deposit,
                 batch_size=protocol_config.batch_size,
+                genesis=(genesis_block, genesis_utxos),
             )
             replica = ZLBReplica(
                 replica_id=replica_id,
@@ -305,12 +335,24 @@ class ZLBSystem:
     # -- workload -------------------------------------------------------------------------
 
     def submit_workload(self, num_transactions: int) -> int:
-        """Generate client transfers and spread them across committee mempools."""
+        """Generate client transfers and spread them across committee mempools.
+
+        Only *proposing* replicas receive traffic: benign (crashed) replicas
+        never run instances (:meth:`run_instances` skips them), so anything
+        routed to their mempools would be silently stranded and the measured
+        throughput would under-count the offered load.  Deceitful replicas
+        *do* receive their share — clients cannot distinguish them, and
+        transactions lost to an equivocating proposer (e.g. the reliable
+        broadcast attack replacing its proposals with double-spend variants)
+        are part of the attack's measured cost, not a harness artifact.
+        """
         committee = sorted(
             replica_id
             for replica_id, replica in self.replicas.items()
-            if not replica.standby
+            if not replica.standby and replica.fault is not FaultKind.BENIGN
         )
+        if not committee:
+            return 0
         transactions = self.workload.batch(num_transactions)
         for index, transaction in enumerate(transactions):
             target = committee[index % len(committee)]
@@ -357,6 +399,8 @@ class ZLBSystem:
         included: List[ReplicaId] = []
         committed = 0
         shortfall = 0
+        realized_gain = 0
+        seized = 0
         final_committee: List[ReplicaId] = []
 
         for replica_id, replica in sorted(self.replicas.items()):
@@ -389,6 +433,18 @@ class ZLBSystem:
                 included = sorted(set(included) | set(outcome.included))
             committed = max(committed, replica.blockchain.transactions_committed)
             shortfall = max(shortfall, replica.blockchain.record.deposit_shortfall())
+            # Gain/seizure must stay a *consistent pair* from one record (the
+            # zero-loss arithmetic compares them): take both from the honest
+            # replica that accounted the largest realised gain, i.e. the one
+            # that observed the most of the fork.  Mixing independent maxima
+            # could pair one replica's gain with another's seizures.
+            record = replica.blockchain.record
+            if record.realized_attack_gain > realized_gain or (
+                record.realized_attack_gain == realized_gain
+                and record.seized_total > seized
+            ):
+                realized_gain = record.realized_attack_gain
+                seized = record.seized_total
             if not final_committee:
                 final_committee = list(replica.committee())
 
@@ -413,6 +469,8 @@ class ZLBSystem:
             final_committee=final_committee,
             committed_transactions=committed,
             deposit_shortfall=shortfall,
+            realized_gain=realized_gain,
+            seized_deposit=seized,
             telemetry=(
                 self.simulator.telemetry.snapshot()
                 if self.simulator.telemetry is not None
@@ -422,26 +480,29 @@ class ZLBSystem:
 
 
 def _build_double_spend_variants(
-    plan: CoalitionPlan, amount: int, seed: int
-) -> Tuple[Dict[ReplicaId, List[Any]], List[Tuple[str, int]]]:
+    plan: CoalitionPlan,
+    wallets: Dict[ReplicaId, Wallet],
+    view: UTXOTable,
+    amount: int,
+) -> Dict[ReplicaId, List[Any]]:
     """Conflicting proposal variants for the reliable broadcast attack.
 
     For every deceitful slot the coalition owns a funded attacker wallet and
     prepares one transaction per partition, all spending the same UTXO towards
-    different recipients — the canonical double spend of Fig. 1.
+    different recipients — the canonical double spend of Fig. 1.  ``view``
+    must be the *deployment* genesis UTXO table: the variants' inputs are
+    selected from it, so every conflicting transfer contests a UTXO that
+    genuinely exists on the chain the committee runs (a variant built against
+    any other genesis would reference phantom outputs and be rejected by the
+    execution-validated commit path).
     """
     branches = max(1, plan.num_branches)
     variants: Dict[ReplicaId, List[Any]] = {}
-    allocations: List[Tuple[str, int]] = []
-    for slot in sorted(plan.deceitful):
-        attacker = Wallet(name=f"attacker-{seed}-{slot}")
-        allocations.append((attacker.address, amount))
-        _, genesis_utxos = make_genesis_block([(attacker.address, amount)])
-        view = UTXOTable(genesis_utxos)
+    for slot, attacker in sorted(wallets.items()):
         inputs = view.select_inputs(attacker.address, amount)
         slot_variants: List[List[Transaction]] = []
         for branch in range(branches):
-            recipient = Wallet(name=f"fence-{seed}-{slot}-{branch}")
+            recipient = Wallet(name=f"fence-{attacker.name}-{branch}")
             slot_variants.append(
                 [
                     build_transfer(
@@ -453,4 +514,5 @@ def _build_double_spend_variants(
                 ]
             )
         variants[slot] = slot_variants
-    return variants, allocations
+    return variants
+

@@ -109,6 +109,67 @@ class TestSBCFaultTolerance:
         assert len(decisions) == 4
         assert 1 not in decisions[0].included_slots()
 
+    def test_divergent_validator_does_not_stall_decision(self):
+        """Stateful validators (branch-relative execution checks) can disagree
+        across replicas.  A replica whose validator rejected a delivery must
+        not stall forever when the committee decides 1 for that slot: it
+        adopts the retained content and completes the instance (the commit
+        path screens the transactions afterwards)."""
+        n = 4
+        proposals = {i: [f"tx-{i}"] for i in range(n)}
+        simulator, replicas, _ = build_cluster(n, seed=3)
+        decisions = {}
+        components = []
+        for replica in replicas:
+            rid = replica.replica_id
+            # Only replica 0 rejects slot 1's proposal; the quorum accepts it.
+            validator = (lambda slot, value: slot != 1) if rid == 0 else None
+            component = SetByzantineConsensus(
+                host=replica,
+                instance=0,
+                on_decide=lambda d, rid=rid: decisions.setdefault(rid, d),
+                proposal_validator=validator,
+            )
+            attach_component(replica, component)
+            components.append(component)
+        for replica_id, payload in proposals.items():
+            components[replica_id].propose(payload)
+        simulator.run()
+        assert len(decisions) == n  # nobody stalled
+        assert len({d.digest for d in decisions.values()}) == 1
+        # The rejecting replica adopted the quorum's slot-1 payload and
+        # flagged it so consumers re-screen it in full.
+        assert 1 in decisions[0].included_slots()
+        assert decisions[0].proposals[1] == proposals[1]
+        assert decisions[0].unvalidated_slots == (1,)
+        assert decisions[1].unvalidated_slots == ()
+
+    def test_adoption_flag_survives_late_delivery(self):
+        """An adoption can happen on a completion pass that still returns
+        early (another 1-decided slot's RBC pending).  The unvalidated flag
+        must survive into the pass that finally builds the decision — a
+        loop-local would silently drop it and let the commit path skip
+        signature re-verification for a rejected payload."""
+        n = 4
+        simulator, replicas, _ = build_cluster(n, seed=4)
+        decisions = {}
+        component = SetByzantineConsensus(
+            host=replicas[0],
+            instance=0,
+            on_decide=lambda d: decisions.setdefault(0, d),
+            proposal_validator=lambda slot, value: slot != 1,
+        )
+        attach_component(replicas[0], component)
+        # Deliveries: slot 0 accepted, slot 1 rejected, slot 3 still pending.
+        component._on_rbc_deliver(0, ["tx-0"], None)
+        component._on_rbc_deliver(1, ["tx-1"], None)
+        component._bits = {0: 1, 1: 1, 2: 0, 3: 1}
+        component._maybe_complete()  # adopts slot 1, then waits on slot 3
+        assert not component.decided
+        component._on_rbc_deliver(3, ["tx-3"], None)
+        assert component.decided
+        assert decisions[0].unvalidated_slots == (1,)
+
 
 class TestSBCDecisionObject:
     def test_conflicts_with(self):

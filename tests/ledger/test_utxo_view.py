@@ -1,0 +1,133 @@
+"""Unit tests for the copy-on-write UTXO view and the memoised table indices."""
+
+import pytest
+
+from repro.common.errors import InvalidTransactionError, LedgerError
+from repro.ledger.block import make_genesis_block
+from repro.ledger.transaction import build_transfer
+from repro.ledger.utxo import UTXO, UTXOTable
+from repro.ledger.wallet import Wallet
+
+
+@pytest.fixture
+def alice_bob_table():
+    alice, bob = Wallet("view-alice"), Wallet("view-bob")
+    _, utxos = make_genesis_block([(alice.address, 100), (bob.address, 50)])
+    return alice, bob, UTXOTable(utxos)
+
+
+class TestMemoisedIndices:
+    def test_balances_and_supply_track_mutations(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        assert table.total_supply() == 150
+        assert table.balances() == {alice.address: 100, bob.address: 50}
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 30), [(bob.address, 30)]
+        )
+        table.apply_transaction(tx)
+        assert table.balance(alice.address) == 70
+        assert table.balance(bob.address) == 80
+        assert table.total_supply() == 150
+
+    def test_balance_drops_to_zero_when_emptied(self):
+        table = UTXOTable([UTXO("t:0", "a", 10)])
+        table.remove("t:0")
+        assert table.balance("a") == 0
+        assert table.utxos_of("a") == []
+        assert table.total_supply() == 0
+
+    def test_select_inputs_uses_memoised_balance(self, alice_bob_table):
+        alice, _, table = alice_bob_table
+        with pytest.raises(InvalidTransactionError):
+            table.select_inputs(alice.address, 101)
+
+
+class TestUTXOView:
+    def test_overlay_reads_through_to_base(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        view = table.overlay()
+        assert view.balance(alice.address) == 100
+        assert len(view) == len(table)
+        for utxo in table:
+            assert view.contains(utxo.utxo_id)
+            assert view.get(utxo.utxo_id) == utxo
+
+    def test_view_mutations_do_not_touch_base(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        view = table.overlay()
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 40), [(bob.address, 40)]
+        )
+        view.apply_transaction(tx)
+        assert view.balance(alice.address) == 60
+        assert view.balance(bob.address) == 90
+        # The base table is untouched.
+        assert table.balance(alice.address) == 100
+        assert table.balance(bob.address) == 50
+        assert table.contains(tx.inputs[0].utxo_id)
+
+    def test_view_detects_double_spend(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        view = table.overlay()
+        inputs = table.select_inputs(alice.address, 100)
+        tx1 = build_transfer(alice, inputs, [(bob.address, 100)], nonce=0)
+        tx2 = build_transfer(alice, inputs, [(bob.address, 100)], nonce=1)
+        view.apply_transaction(tx1)
+        assert not view.can_apply(tx2)
+        with pytest.raises(InvalidTransactionError):
+            view.apply_transaction(tx2)
+
+    def test_chained_transactions_within_view(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        carol = Wallet("view-carol")
+        view = table.overlay()
+        tx1 = build_transfer(
+            alice, table.select_inputs(alice.address, 100), [(bob.address, 100)]
+        )
+        created = view.apply_transaction(tx1)
+        # Spend an output that exists only in the view.
+        bob_output = next(u for u in created if u.account == bob.address)
+        tx2 = build_transfer(bob, [bob_output.as_input()], [(carol.address, 100)])
+        assert view.can_apply(tx2)
+        view.apply_transaction(tx2)
+        assert view.balance(carol.address) == 100
+        assert not table.contains(bob_output.utxo_id)
+
+    def test_balance_deltas(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        view = table.overlay()
+        tx = build_transfer(
+            alice, table.select_inputs(alice.address, 100), [(bob.address, 25)]
+        )
+        view.apply_transaction(tx)
+        deltas = view.balance_deltas()
+        assert deltas[bob.address] == 25
+        assert deltas[alice.address] == -25  # 100 out, 75 change back
+
+    def test_readd_after_remove_of_base_output(self):
+        table = UTXOTable([UTXO("t:0", "a", 10)])
+        view = table.overlay()
+        removed = view.remove("t:0")
+        assert not view.contains("t:0")
+        view.add(removed)
+        assert view.contains("t:0")
+        # Removing again must hide the base output once more.
+        view.remove("t:0")
+        assert not view.contains("t:0")
+        assert table.contains("t:0")
+
+    def test_duplicate_add_rejected(self):
+        table = UTXOTable([UTXO("t:0", "a", 10)])
+        view = table.overlay()
+        with pytest.raises(LedgerError):
+            view.add(UTXO("t:0", "a", 10))
+
+    def test_stacked_overlays(self, alice_bob_table):
+        alice, bob, table = alice_bob_table
+        view = table.overlay()
+        inputs = table.select_inputs(alice.address, 100)
+        tx = build_transfer(alice, inputs, [(bob.address, 100)], nonce=0)
+        view.apply_transaction(tx)
+        stacked = view.overlay()
+        assert stacked.balance(bob.address) == 150
+        assert not stacked.can_apply(tx)
