@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Trace one Figure 4 attack cell and print its commit critical path.
+
+The run replays the paper's binary consensus attack (n = 9, 1000 ms
+cross-partition delay, seed 1) with causal tracing on: every message carries
+a trace context, every protocol layer (mempool admission, RBC echo/ready,
+binary rounds, commit/merge) records spans and point events, and the online
+invariant monitors (agreement, validity, supply conservation, zero-loss
+accounting) check the run as it happens.
+
+Afterwards the critical-path analysis says which phase dominated
+time-to-commit, per percentile — under the attack the answer is the mempool
+wait: transactions stranded behind the partition sit in the mempool until
+the membership change completes, while the consensus phases themselves stay
+sub-second.
+
+Run with::
+
+    python examples/trace_critical_path.py
+"""
+
+from repro.experiments.fig4_disagreements import run_attack_cell
+from repro.tracing import core as tracing_core
+from repro.tracing.core import TraceRuntime
+from repro.tracing.critical_path import critical_path, render_critical_path
+
+
+def main() -> None:
+    runtime = TraceRuntime.enabled()
+    with tracing_core.activate(runtime):
+        result = run_attack_cell(
+            n=9, attack_kind="binary", cross_partition_delay="1000ms", seed=1
+        )
+
+    print(
+        f"run: n={result.n} disagreements={result.disagreements} "
+        f"committed={result.committed_transactions} recovered={result.recovered}"
+    )
+
+    # End-of-run zero-loss accounting: whatever the coalition realised must
+    # be covered by what was seized from it.
+    runtime.monitors.finalize(
+        result.realized_gain, result.seized_deposit, result.deposit_shortfall
+    )
+    status = "all green" if runtime.monitors.ok else "VIOLATED"
+    print(f"invariant monitors: {status}")
+    for violation in runtime.monitors.violations:
+        print(f"  {violation.describe()}")
+
+    tracer = runtime.tracer
+    print(
+        f"traced: {tracer.trace_count()} traces, {len(tracer.spans)} spans, "
+        f"{len(tracer.events)} events"
+    )
+    print()
+    print(render_critical_path(critical_path(tracer)))
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,14 @@ class BinaryConsensus:
         # Telemetry (None when disabled); latency runs from first activity.
         self._telemetry = host.telemetry
         self._started_at: Optional[float] = None
+        # Tracing (None when disabled): one span from first activity to the
+        # decision; round/decide events feed the critical-path analysis.
+        self._tracing = getattr(host, "tracing", None)
+        self._span = None
+        if self._tracing is not None:
+            from repro.tracing.core import topic_trace_attrs
+
+            self._trace_attrs = topic_trace_attrs(self.topic)
         self.round = 0
         self.estimate: Optional[int] = None
         self.decided = False
@@ -98,13 +106,30 @@ class BinaryConsensus:
         if self.started:
             return
         self.started = True
-        if self._started_at is None:
-            self._started_at = self.host.now
+        self._trace_started()
         self.estimate = 1 if value else 0
         self._start_round(0)
 
+    def _trace_started(self) -> None:
+        if self._started_at is None:
+            self._started_at = self.host.now
+            tracing = self._tracing
+            if tracing is not None:
+                self._span = tracing.tracer.start_span(
+                    "bin", self.host.replica_id, self._started_at, **self._trace_attrs
+                )
+
     def _start_round(self, round_number: int) -> None:
         self.round = round_number
+        tracing = self._tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "bin.round",
+                self.host.replica_id,
+                self.host.now,
+                round=round_number,
+                **self._trace_attrs,
+            )
         assert self.estimate is not None
         self._broadcast_bval(round_number, self.estimate)
         # Messages for this round may have arrived while we were still in an
@@ -148,7 +173,7 @@ class BinaryConsensus:
     def handle(self, sender: ReplicaId, kind: str, body: Dict[str, Any]) -> None:
         """Process a message of this instance."""
         if self._started_at is None:
-            self._started_at = self.host.now
+            self._trace_started()
         if kind == self.BVAL:
             self._handle_bval(sender, body)
         elif kind == self.AUX:
@@ -281,6 +306,19 @@ class BinaryConsensus:
                 telemetry.histogram("consensus.binary.decide_s").observe(
                     self.host.now - self._started_at
                 )
+        tracing = self._tracing
+        if tracing is not None:
+            tracer = tracing.tracer
+            tracer.event(
+                "bin.decide",
+                self.host.replica_id,
+                self.host.now,
+                round=self.round,
+                value=value,
+                **self._trace_attrs,
+            )
+            if self._span is not None:
+                tracer.finish(self._span, self.host.now)
         decide_vote = make_vote(
             self.host, self.context, 0, VoteKind.DECIDE, value_digest(value)
         )

@@ -28,6 +28,10 @@ class ProtocolHost:
     #: contract of :mod:`repro.telemetry`.
     telemetry: Optional[Any] = None
 
+    #: Tracing runtime of the run, or None when tracing is disabled; the same
+    #: cache-once / ``is not None`` contract (see :mod:`repro.tracing`).
+    tracing: Optional[Any] = None
+
     # -- identity and committee ------------------------------------------------
 
     @property
@@ -113,6 +117,7 @@ class SimpleHost(ProtocolHost):
         self._registry = registry
         self._transport = transport
         self.telemetry = getattr(transport, "telemetry", None)
+        self.tracing = getattr(transport, "tracing", None)
         self.decisions: Dict[str, Any] = {}
 
     @property

@@ -143,6 +143,15 @@ class SetByzantineConsensus:
         # hears of it) to local decision, in simulated time.
         self._telemetry = host.telemetry
         self._created_at = host.now
+        # Tracing (None when disabled): the instance span opens under the
+        # active context — the proposer's root span, or the delivery span of
+        # whatever message caused a lazy start — and closes at the decision.
+        self._tracing = getattr(host, "tracing", None)
+        self._span = None
+        if self._tracing is not None:
+            self._span = self._tracing.tracer.start_span(
+                "sbc", host.replica_id, self._created_at, instance=instance
+            )
         self.slots: Tuple[ReplicaId, ...] = tuple(sorted(host.committee()))
         self.decided = False
         self.decision: Optional[SBCDecision] = None
@@ -314,6 +323,18 @@ class SetByzantineConsensus:
             telemetry.histogram("consensus.sbc.justification_votes").observe(
                 len(justification)
             )
+        tracing = self._tracing
+        if tracing is not None:
+            tracer = tracing.tracer
+            tracer.event(
+                "sbc.decide",
+                self.host.replica_id,
+                self.host.now,
+                instance=self.instance,
+                included=sum(1 for bit in self._bits.values() if bit == 1),
+            )
+            if self._span is not None:
+                tracer.finish(self._span, self.host.now)
         self.decision = SBCDecision(
             instance=self.instance,
             bitmask=dict(self._bits),

@@ -39,9 +39,21 @@ class Message:
         body: free-form payload dictionary (shared, never copied).
         uid: unique, monotonically increasing message id (simulation-local);
             useful for deterministic tie-breaking and debugging.
+        trace_ctx: optional :class:`~repro.tracing.core.TraceContext` stamped
+            by the simulator at submission time when tracing is enabled
+            (``None`` otherwise); deliveries open child spans under it.
     """
 
-    __slots__ = ("sender", "recipient", "topic", "kind", "body", "uid", "_size")
+    __slots__ = (
+        "sender",
+        "recipient",
+        "topic",
+        "kind",
+        "body",
+        "uid",
+        "trace_ctx",
+        "_size",
+    )
 
     def __init__(
         self,
@@ -58,6 +70,7 @@ class Message:
         self.kind = kind
         self.body: Dict[str, Any] = {} if body is None else body
         self.uid = next(_message_counter) if uid is None else uid
+        self.trace_ctx: Optional[Any] = None
         self._size: Optional[int] = None
 
     @property
@@ -87,15 +100,25 @@ class Message:
             kind=self.kind,
             body=self.body,
         )
+        copy.trace_ctx = self.trace_ctx
         copy._size = self._size
         return copy
 
     def describe(self) -> str:
-        """Short human-readable description used in logs and error messages."""
-        return (
+        """Short human-readable description used in logs and error messages.
+
+        Includes the interned topic string and, when the message rides a
+        trace, its ``tN:sM`` context — flight-recorder dumps and assertion
+        messages are self-describing.
+        """
+        base = (
             f"{self.topic.canonical}/{self.kind} "
             f"from {self.sender} to {self.recipient}"
         )
+        ctx = self.trace_ctx
+        if ctx is not None:
+            return f"{base} [{ctx.fmt()}]"
+        return base
 
     def __repr__(self) -> str:
         return f"Message({self.describe()}, uid={self.uid})"

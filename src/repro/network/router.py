@@ -130,6 +130,9 @@ class RoutedProcess(Process):
             message.topic, message.sender, message.kind, message.body
         ):
             self.unrouted_messages += 1
+            # Cold path: unrouted traffic is a routing-table bug or late
+            # cross-epoch chatter — worth a debug line either way.
+            self.log.debug("unrouted message: %s", message.describe())
             self.on_unrouted(message)
 
     def on_unrouted(self, message) -> None:

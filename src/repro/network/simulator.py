@@ -27,11 +27,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 from repro.common.config import SimulationConfig
 from repro.common.errors import SimulationError
+from repro.common.logging import replica_logger
 from repro.common.types import ReplicaId
 from repro.network.delays import ConstantDelay, DelayModel
 from repro.network.message import Message
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.core import TelemetryRegistry, protocol_group
+from repro.tracing import core as tracing_core
+from repro.tracing.core import TraceRuntime
 
 #: Queue depth is sampled every this many processed events (power of two so
 #: the hot loop's modulo is a mask); sampling keeps enabled-mode overhead low
@@ -53,6 +56,10 @@ class Process:
         #: Cached telemetry registry (or None when disabled); set at bind time
         #: so hot protocol paths pay a plain attribute load plus a None check.
         self.telemetry: Optional[TelemetryRegistry] = None
+        #: Cached tracing runtime (or None when disabled); same contract.
+        self.tracing: Optional[TraceRuntime] = None
+        #: Per-replica logger injecting id, simulated time and trace context.
+        self.log = replica_logger(self)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -60,6 +67,7 @@ class Process:
         """Attach the process to a simulator (called by ``add_process``)."""
         self._simulator = simulator
         self.telemetry = simulator.telemetry
+        self.tracing = simulator.tracing
 
     @property
     def simulator(self) -> "NetworkSimulator":
@@ -166,6 +174,8 @@ class _Event:
         "cancelled",
         "deliveries",
         "cursor",
+        "owner",
+        "trace_ctx",
     )
 
     DELIVERY = "delivery"
@@ -188,6 +198,11 @@ class _Event:
         self.cancelled = False
         self.deliveries: Optional[List[Tuple[float, int, ReplicaId]]] = None
         self.cursor = 0
+        #: Timer bookkeeping: scheduling replica and, when tracing is
+        #: enabled, the trace context captured at scheduling time (restored
+        #: around the callback so delayed continuations stay causal).
+        self.owner: Optional[ReplicaId] = None
+        self.trace_ctx = None
 
     def __lt__(self, other: "_Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -201,6 +216,7 @@ class NetworkSimulator:
         delay_model: Optional[DelayModel] = None,
         config: Optional[SimulationConfig] = None,
         telemetry: Optional[TelemetryRegistry] = None,
+        tracing: Optional[TraceRuntime] = None,
     ):
         self.delay_model = delay_model or ConstantDelay(0.01)
         self.config = config or SimulationConfig()
@@ -208,6 +224,11 @@ class NetworkSimulator:
         #: Falls back to the registry installed by ``telemetry.activate`` so a
         #: scenario cell can instrument the whole stack it builds.
         self.telemetry = telemetry if telemetry is not None else telemetry_core.current()
+        #: The run's tracing runtime, or None (disabled — the default); the
+        #: same activation fallback as telemetry.  Tracing is observational
+        #: only — it consumes no randomness and schedules nothing, so seeded
+        #: runs are bit-identical with it on or off.
+        self.tracing = tracing if tracing is not None else tracing_core.current()
         self.rng = random.Random(self.config.seed)
         self._queue: List[_Event] = []
         self._sequence = itertools.count()
@@ -289,6 +310,9 @@ class NetworkSimulator:
             telemetry.counter(
                 "net.bytes_sent", protocol=group, kind=message.kind
             ).inc(message.size_bytes())
+        tracing = self.tracing
+        if tracing is not None:
+            tracing.on_send(message, self._now)
         if (
             message.sender in self._disconnected
             or message.recipient in self._disconnected
@@ -296,6 +320,8 @@ class NetworkSimulator:
             self.messages_dropped += 1
             if telemetry is not None:
                 telemetry.counter("net.messages_dropped").inc()
+            if tracing is not None:
+                tracing.on_drop(message, self._now)
             return
         delay = self.delay_model.sample(message.sender, message.recipient, self.rng)
         if delay < 0:
@@ -331,11 +357,18 @@ class NetworkSimulator:
             telemetry.counter(
                 "net.bytes_sent", protocol=group, kind=message.kind
             ).inc(message.size_bytes() * count)
+        tracing = self.tracing
+        if tracing is not None:
+            # One stamped envelope serves every recipient; each delivery then
+            # opens its own child span under the shared context.
+            tracing.on_send(message, self._now)
         sender = message.sender
         if sender in self._disconnected:
             self.messages_dropped += count
             if telemetry is not None:
                 telemetry.counter("net.messages_dropped").inc(count)
+            if tracing is not None:
+                tracing.on_drop(message, self._now, count=count)
             return
         disconnected = self._disconnected
         sample = self.delay_model.sample
@@ -380,6 +413,13 @@ class NetworkSimulator:
             kind=_Event.TIMER,
             callback=callback,
         )
+        event.owner = owner
+        tracing = self.tracing
+        if tracing is not None:
+            # Capture the active context so the callback runs on the causal
+            # chain that scheduled it (e.g. the delivery that armed a grace
+            # timer), not on whatever happens to be active when it fires.
+            event.trace_ctx = tracing.tracer.current_ctx
         heapq.heappush(self._queue, event)
         self._timers[event.seq] = event
         self._pending += 1
@@ -420,6 +460,7 @@ class NetworkSimulator:
         deadline = self.config.max_time if until is None else until
         budget = self.config.max_events if max_events is None else max_events
         telemetry = self.telemetry
+        tracing = self.tracing
         processed = 0
         while self._queue and processed < budget:
             event = self._queue[0]
@@ -444,7 +485,12 @@ class NetworkSimulator:
                 telemetry.histogram("net.queue_depth").observe(len(self._queue))
             if kind == _Event.TIMER:
                 assert event.callback is not None
-                event.callback()
+                if tracing is None:
+                    event.callback()
+                else:
+                    tracing.fire_timer(
+                        event.callback, event.trace_ctx, self._now, event.owner
+                    )
             elif kind == _Event.BROADCAST:
                 deliveries = event.deliveries
                 assert deliveries is not None and event.message is not None
@@ -473,21 +519,31 @@ class NetworkSimulator:
         return SimulationResult(time=self._now, events=processed, exhausted_budget=False)
 
     def _deliver(self, message: Message) -> None:
+        tracing = self.tracing
         if message.recipient in self._disconnected:
             self.messages_dropped += 1
             if self.telemetry is not None:
                 self.telemetry.counter("net.messages_dropped").inc()
+            if tracing is not None:
+                tracing.on_drop(message, self._now)
             return
         process = self._processes.get(message.recipient)
         if process is None:
             self.messages_dropped += 1
             if self.telemetry is not None:
                 self.telemetry.counter("net.messages_dropped").inc()
+            if tracing is not None:
+                tracing.on_drop(message, self._now)
             return
         self.messages_delivered += 1
         if self.telemetry is not None:
             self.telemetry.counter("net.messages_delivered").inc()
-        process.on_message(message)
+        if tracing is None:
+            process.on_message(message)
+        else:
+            # The runtime records the delivery and dispatches inside a child
+            # span of the message's context (one span per recipient).
+            tracing.deliver(process, message, self._now)
 
     def pending_events(self) -> int:
         """Number of queued (non-cancelled) deliveries and timers, O(1).

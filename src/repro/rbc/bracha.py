@@ -63,6 +63,15 @@ class ReliableBroadcast:
         # simulated time from the first local activity of the instance.
         self._telemetry = host.telemetry
         self._started_at: Optional[float] = None
+        # Tracing (None when disabled): a span covers first activity to
+        # delivery, and phase events carry the instance/slot for the
+        # critical-path analysis.
+        self._tracing = getattr(host, "tracing", None)
+        self._span = None
+        if self._tracing is not None:
+            from repro.tracing.core import topic_trace_attrs
+
+            self._trace_attrs = topic_trace_attrs(self.topic)
         # Protocol state.
         self._echo_sent = False
         self._ready_sent = False
@@ -85,6 +94,11 @@ class ReliableBroadcast:
     def _mark_started(self) -> None:
         if self._started_at is None:
             self._started_at = self.host.now
+            tracing = self._tracing
+            if tracing is not None:
+                self._span = tracing.tracer.start_span(
+                    "rbc", self.host.replica_id, self._started_at, **self._trace_attrs
+                )
 
     def _observe_phase(self, name: str) -> None:
         if self._telemetry is not None and self._started_at is not None:
@@ -93,6 +107,11 @@ class ReliableBroadcast:
     def broadcast(self, value: Any) -> None:
         """Called by the proposer to disseminate ``value``."""
         self._mark_started()
+        tracing = self._tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "rbc.init", self.host.replica_id, self.host.now, **self._trace_attrs
+            )
         digest = hash_payload(value)
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_INIT, digest)
         self.collected_votes.append(vote)
@@ -107,6 +126,11 @@ class ReliableBroadcast:
             return
         self._echo_sent = True
         self._observe_phase("rbc.init_to_echo_s")
+        tracing = self._tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "rbc.echo", self.host.replica_id, self.host.now, **self._trace_attrs
+            )
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_ECHO, digest)
         self.collected_votes.append(vote)
         self.host.emit(
@@ -120,6 +144,11 @@ class ReliableBroadcast:
             return
         self._ready_sent = True
         self._observe_phase("rbc.init_to_ready_s")
+        tracing = self._tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "rbc.ready", self.host.replica_id, self.host.now, **self._trace_attrs
+            )
         vote = make_vote(self.host, self.context, 0, VoteKind.RBC_READY, digest)
         self.collected_votes.append(vote)
         value = self._values.get(digest)
@@ -234,4 +263,12 @@ class ReliableBroadcast:
             self._telemetry.histogram("rbc.certificate_votes").observe(
                 len(certificate.votes)
             )
+        tracing = self._tracing
+        if tracing is not None:
+            tracer = tracing.tracer
+            tracer.event(
+                "rbc.deliver", self.host.replica_id, self.host.now, **self._trace_attrs
+            )
+            if self._span is not None:
+                tracer.finish(self._span, self.host.now)
         self.on_deliver(self.proposer, self.delivered_value, certificate)

@@ -15,6 +15,17 @@ sweep serves every already-computed cell from cache.  ``--telemetry``
 instruments every cell (per-protocol message counts, per-phase latency
 histograms, recovery timelines) and ``report`` renders the stored snapshots
 as comparative tables, optionally exporting them as CSV/JSON.
+
+``trace`` replays a single cell with causal tracing on::
+
+    python -m repro.scenarios trace fig4 --cell 0 --out trace.json
+
+It prints the critical-path analysis (which phase — mempool wait, RBC,
+binary rounds or commit — dominates time-to-commit, per percentile), writes
+a Chrome-tracing/Perfetto-compatible JSON export, checks the online
+invariant monitors (agreement, validity, supply conservation, zero-loss
+accounting) and exits non-zero — dumping the flight recorder — when any
+invariant tripped.
 """
 
 from __future__ import annotations
@@ -122,6 +133,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.tracing import core as tracing_core
+    from repro.tracing.core import TraceRuntime
+    from repro.tracing.critical_path import render_critical_path
+    from repro.tracing.export import write_chrome_trace, write_span_tree
+
+    specs = registry.expand(args.family, args.scale)
+    if not 0 <= args.cell < len(specs):
+        print(
+            f"error: --cell {args.cell} out of range "
+            f"({args.family}/{args.scale} has {len(specs)} cells)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = specs[args.cell].with_overrides(tracing=True)
+    print(f"tracing cell: {spec.label()}", flush=True)
+
+    runtime = TraceRuntime.enabled(dump_path=args.dump)
+    with tracing_core.activate(runtime):
+        row = registry.run_spec(spec)
+    # End-of-run zero-loss accounting, for rows that carry the ledger totals
+    # (coalition-attack families do; fault-free families have nothing to seize).
+    if {"realized_gain", "seized_deposit"} <= set(row):
+        runtime.monitors.finalize(
+            row["realized_gain"],
+            row["seized_deposit"],
+            row.get("deposit_shortfall") or 0,
+            at=row.get("simulated_time_s"),
+        )
+
+    print(format_table([row]))
+    summary = runtime.summary()
+    print(
+        f"traces: {summary['traces']}  spans: {summary['spans']}  "
+        f"events: {summary['events']}"
+    )
+    print(render_critical_path(summary["critical_path"]))
+    print(f"chrome trace: {write_chrome_trace(runtime.tracer, args.out)}")
+    if args.tree:
+        print(f"span tree: {write_span_tree(runtime.tracer, args.tree)}")
+
+    monitors = runtime.monitors
+    if monitors.ok:
+        print("invariant monitors: all green")
+        return 0
+    print("invariant monitors: VIOLATED", file=sys.stderr)
+    for violation in monitors.violations:
+        print(f"  {violation.describe()}", file=sys.stderr)
+    if monitors.dump_written:
+        print(f"flight recorder dump: {args.dump}", file=sys.stderr)
+    return 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry.export import snapshot_rows, write_csv, write_json
     from repro.telemetry.report import render_report, telemetry_cells
@@ -177,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="instrument every cell and store telemetry snapshots "
             "(see the `report` subcommand)",
         )
+        p.add_argument(
+            "--log-level",
+            default=None,
+            help="enable stdlib logging for the 'repro' logger tree "
+            "(DEBUG, INFO, WARNING, ...)",
+        )
 
     run = sub.add_parser("run", help="run one family and print its rows")
     run.add_argument("family", help="scenario family name (see `list`)")
@@ -199,6 +269,46 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"JSONL result store path (default: {DEFAULT_OUT})",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay one cell with causal tracing and invariant monitors",
+    )
+    trace.add_argument("family", help="scenario family name (see `list`)")
+    trace.add_argument(
+        "--cell",
+        type=int,
+        default=0,
+        help="cell index within the family grid (default: 0)",
+    )
+    trace.add_argument(
+        "--scale",
+        choices=("small", "full"),
+        default="small",
+        help="grid scale the cell index refers to (default: small)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome-tracing/Perfetto JSON output path (default: trace.json)",
+    )
+    trace.add_argument(
+        "--tree",
+        default=None,
+        help="optional span-tree JSON output path",
+    )
+    trace.add_argument(
+        "--dump",
+        default="flight-recorder.jsonl",
+        help="flight-recorder dump path written on an invariant violation "
+        "(default: flight-recorder.jsonl)",
+    )
+    trace.add_argument(
+        "--log-level",
+        default=None,
+        help="enable stdlib logging for the 'repro' logger tree",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser(
         "report",
@@ -227,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "log_level", None):
+            from repro.common.logging import configure_logging
+
+            configure_logging(args.log_level)
         return args.func(args)
     except (ConfigurationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

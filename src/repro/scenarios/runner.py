@@ -18,6 +18,7 @@ sweep of the same specs produce identical rows.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -26,6 +27,7 @@ from repro.scenarios import registry
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore
 from repro.telemetry import core as telemetry_core
+from repro.tracing import core as tracing_core
 
 ProgressCallback = Callable[["RunOutcome", int, int], None]
 
@@ -40,6 +42,8 @@ class RunOutcome:
     wall_clock_s: float
     #: Telemetry snapshot of the cell (None unless ``spec.telemetry``).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Trace summary of the cell (None unless ``spec.tracing``).
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass
@@ -58,25 +62,35 @@ class SweepReport:
 
 def _execute_cell(
     payload: str,
-) -> Tuple[str, Dict[str, Any], float, Optional[Dict[str, Any]]]:
+) -> Tuple[
+    str, Dict[str, Any], float, Optional[Dict[str, Any]], Optional[Dict[str, Any]]
+]:
     """Worker entry point: run one spec from its JSON form.
 
     Module-level so ``multiprocessing`` can pickle it; returns the spec hash
     alongside the row so the parent can reorder results deterministically.
-    When the spec asks for telemetry, a fresh registry is activated around the
-    cell — every instrumented constructor below (simulators, ZLB systems)
-    picks it up — and its snapshot rides along with the row.
+    When the spec asks for telemetry (tracing), a fresh registry (trace
+    runtime) is activated around the cell — every instrumented constructor
+    below (simulators, ZLB systems) picks it up — and its snapshot (summary)
+    rides along with the row.
     """
     spec = ScenarioSpec.from_json(payload)
     start = time.perf_counter()
-    if spec.telemetry:
-        with telemetry_core.activate(telemetry_core.TelemetryRegistry()) as active:
-            row = registry.run_spec(spec)
-        snapshot: Optional[Dict[str, Any]] = active.snapshot()
-    else:
+    with contextlib.ExitStack() as stack:
+        active = None
+        runtime = None
+        if spec.telemetry:
+            active = stack.enter_context(
+                telemetry_core.activate(telemetry_core.TelemetryRegistry())
+            )
+        if spec.tracing:
+            runtime = stack.enter_context(
+                tracing_core.activate(tracing_core.TraceRuntime.enabled())
+            )
         row = registry.run_spec(spec)
-        snapshot = None
-    return spec.spec_hash, row, time.perf_counter() - start, snapshot
+    snapshot = active.snapshot() if active is not None else None
+    trace = runtime.summary() if runtime is not None else None
+    return spec.spec_hash, row, time.perf_counter() - start, snapshot, trace
 
 
 class ScenarioRunner:
@@ -111,6 +125,7 @@ class ScenarioRunner:
                     cached=True,
                     wall_clock_s=0.0,
                     telemetry=record.get("telemetry"),
+                    trace=record.get("trace"),
                 )
                 completed += 1
                 self._notify(outcomes[index], completed, len(specs))
@@ -133,6 +148,7 @@ class ScenarioRunner:
                         outcome.row,
                         outcome.wall_clock_s,
                         telemetry=outcome.telemetry,
+                        trace=outcome.trace,
                     )
                 completed += 1
                 self._notify(outcome, completed, len(specs))
@@ -152,13 +168,14 @@ class ScenarioRunner:
         self, pending: Sequence[Tuple[int, ScenarioSpec]]
     ) -> Iterator[Tuple[int, RunOutcome]]:
         for index, spec in pending:
-            _, row, elapsed, snapshot = _execute_cell(spec.to_json())
+            _, row, elapsed, snapshot, trace = _execute_cell(spec.to_json())
             yield index, RunOutcome(
                 spec=spec,
                 row=row,
                 cached=False,
                 wall_clock_s=elapsed,
                 telemetry=snapshot,
+                trace=trace,
             )
 
     def _run_parallel(
@@ -181,7 +198,7 @@ class ScenarioRunner:
         except ValueError:
             context = multiprocessing.get_context()
         with context.Pool(processes=min(self.jobs, len(pending))) as pool:
-            for spec_hash, row, elapsed, snapshot in pool.imap_unordered(
+            for spec_hash, row, elapsed, snapshot, trace in pool.imap_unordered(
                 _execute_cell, payloads
             ):
                 index = by_hash[spec_hash].pop(0)
@@ -191,6 +208,7 @@ class ScenarioRunner:
                     cached=False,
                     wall_clock_s=elapsed,
                     telemetry=snapshot,
+                    trace=trace,
                 )
 
     def _notify(self, outcome: RunOutcome, completed: int, total: int) -> None:

@@ -68,6 +68,10 @@ class ScenarioSpec:
             persisted next to the result row and rendered by
             ``python -m repro.scenarios report``.  Part of the content hash,
             so instrumented and bare runs of the same cell cache separately.
+        tracing: instrument the cell with a causal
+            :class:`~repro.tracing.TraceRuntime` (spans, flight recorder,
+            invariant monitors); the trace summary is persisted next to the
+            result row.  Same hash convention as ``telemetry``.
         params: extra family-specific knobs as sorted ``(key, value)`` pairs.
     """
 
@@ -85,6 +89,7 @@ class ScenarioSpec:
     seed: int = 1
     max_time: float = 300.0
     telemetry: bool = False
+    tracing: bool = False
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -147,13 +152,15 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form; JSON-serialisable and accepted by :meth:`from_dict`.
 
-        The ``telemetry`` flag is only serialised when set, so bare
-        (uninstrumented) cells keep the hashes they had before the flag
-        existed and old result stores stay valid.
+        The ``telemetry`` and ``tracing`` flags are only serialised when set,
+        so bare (uninstrumented) cells keep the hashes they had before the
+        flags existed and old result stores stay valid.
         """
         data = self._base_dict()
         if self.telemetry:
             data["telemetry"] = True
+        if self.tracing:
+            data["tracing"] = True
         return data
 
     def _base_dict(self) -> Dict[str, Any]:
@@ -219,6 +226,8 @@ class ScenarioSpec:
         parts.append(f"seed={self.seed}")
         if self.telemetry:
             parts.append("telemetry")
+        if self.tracing:
+            parts.append("tracing")
         return " ".join(parts)
 
 

@@ -95,12 +95,15 @@ class ResultStore:
         row: Dict[str, Any],
         wall_clock_s: float = 0.0,
         telemetry: Optional[Dict[str, Any]] = None,
+        trace: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Append one result record and index it.
 
         ``telemetry`` is the cell's snapshot dict (only present for cells run
         with ``spec.telemetry``); it is stored verbatim so reports can be
-        rendered from the JSONL file long after the sweep.
+        rendered from the JSONL file long after the sweep.  ``trace`` is the
+        cell's trace summary (only for cells run with ``spec.tracing``), same
+        convention.
         """
         record = {
             "hash": spec.spec_hash,
@@ -111,6 +114,8 @@ class ResultStore:
         }
         if telemetry is not None:
             record["telemetry"] = telemetry
+        if trace is not None:
+            record["trace"] = trace
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)

@@ -137,6 +137,8 @@ class ASMRReplica(BaseReplica):
         self.catchup_blocks_verified = 0
         self._pending_confirms: Dict[int, List[Tuple[ReplicaId, Dict[str, Any]]]] = {}
         self._buffered_membership: List[Tuple[Topic, ReplicaId, str, Dict[str, Any]]] = []
+        #: Open per-instance root spans (tracing enabled only).
+        self._instance_spans: Dict[int, Any] = {}
 
         router = self.router
         router.register(self.CONFIRM_TOPIC, self._route_confirm)
@@ -181,18 +183,44 @@ class ASMRReplica(BaseReplica):
             started_at=self.now,
         )
         self.instances[instance] = record
-        component = SetByzantineConsensus(
-            host=self,
-            instance=instance,
-            on_decide=self._on_sbc_decided,
-            proposal_validator=self.proposal_validator,
-            protocol_prefix=self.SBC_ROOT.child(self.epoch),
-        )
-        self._sbc[instance] = component
-        # The instance's ("sbc", epoch, instance) prefix shadows the lazy
-        # fallback registered at ("sbc",).
-        self.router.register(component.topic, component.handle)
-        component.propose(self.proposal_factory(instance))
+        tracing = self.tracing
+        span = None
+        if tracing is not None:
+            # The instance's span: everything this replica proposes for the
+            # instance — the INIT broadcast and the whole causal cascade it
+            # triggers at other replicas — chains under it.  A proposer
+            # starting cold opens a fresh trace; a lazy start (triggered by
+            # another replica's message) chains under that delivery instead.
+            tracer = tracing.tracer
+            span = tracer.start_span(
+                "asmr.instance",
+                self.replica_id,
+                self.now,
+                epoch=self.epoch,
+                instance=instance,
+            )
+            self._instance_spans[instance] = span
+            previous = tracer.activate(span.ctx)
+        try:
+            component = SetByzantineConsensus(
+                host=self,
+                instance=instance,
+                on_decide=self._on_sbc_decided,
+                proposal_validator=self.proposal_validator,
+                protocol_prefix=self.SBC_ROOT.child(self.epoch),
+            )
+            self._sbc[instance] = component
+            # The instance's ("sbc", epoch, instance) prefix shadows the lazy
+            # fallback registered at ("sbc",).
+            self.router.register(component.topic, component.handle)
+            if tracing is not None:
+                tracing.tracer.event(
+                    "sbc.propose", self.replica_id, self.now, instance=instance
+                )
+            component.propose(self.proposal_factory(instance))
+        finally:
+            if span is not None:
+                tracing.tracer.restore(previous)
 
     # -- ① consensus ---------------------------------------------------------------------
 
@@ -206,6 +234,27 @@ class ASMRReplica(BaseReplica):
             self.telemetry.histogram("asmr.instance_decide_s").observe(
                 record.decided_at - record.started_at
             )
+        tracing = self.tracing
+        if tracing is not None:
+            tracer = tracing.tracer
+            tracer.event(
+                "asmr.decide",
+                self.replica_id,
+                self.now,
+                instance=decision.instance,
+                digest=decision.digest,
+            )
+            span = self._instance_spans.pop(decision.instance, None)
+            if span is not None:
+                tracer.finish(span, self.now)
+            if tracing.monitors is not None:
+                tracing.monitors.on_decision(
+                    self.replica_id,
+                    record.epoch,
+                    decision.instance,
+                    decision.digest,
+                    self.now,
+                )
         if self.on_commit is not None:
             self.on_commit(decision.instance, decision)
         if self.config.confirmation_enabled:
@@ -262,6 +311,27 @@ class ASMRReplica(BaseReplica):
         if self.telemetry is not None and not record.conflicting_digests:
             self.telemetry.counter("zlb.disagreement_instances").inc()
             self.telemetry.timeline("zlb.recovery").mark("disagreement", self.now)
+        if not record.conflicting_digests:
+            self.log.info(
+                "disagreement on instance %s: remote %s decided %s, local %s",
+                instance,
+                sender,
+                remote_digest,
+                local.digest,
+            )
+            tracing = self.tracing
+            if tracing is not None:
+                tracing.tracer.event(
+                    "asmr.disagreement",
+                    self.replica_id,
+                    self.now,
+                    instance=instance,
+                    remote=sender,
+                )
+                if tracing.monitors is not None:
+                    tracing.monitors.on_disagreement(
+                        self.replica_id, instance, self.now
+                    )
         record.conflicting_digests.add(str(remote_digest))
         self._record_disagreeing_slots(record, body)
         self._reconcile(record, body)
@@ -350,6 +420,11 @@ class ASMRReplica(BaseReplica):
         if self.pofs and self.detected_at is None:
             if len(self.pofs) >= self.pof_threshold():
                 self.detected_at = self.now
+                self.log.info(
+                    "coalition detected: %s proof(s) of fraud against %s",
+                    len(self.pofs),
+                    sorted(self.pofs),
+                )
                 if self.telemetry is not None:
                     self.telemetry.timeline("zlb.recovery").mark(
                         "detected", self.detected_at
@@ -374,6 +449,11 @@ class ASMRReplica(BaseReplica):
         }
         if self.telemetry is not None:
             self.telemetry.timeline("zlb.recovery").mark("exclusion_started", self.now)
+        self.log.info(
+            "membership change started (epoch %s): excluding %s",
+            self.epoch,
+            sorted(relevant_pofs),
+        )
         self.membership_change = MembershipChange(
             host=self,
             epoch=self.epoch,
@@ -402,6 +482,11 @@ class ASMRReplica(BaseReplica):
             timeline.mark("included", outcome.inclusion_decided_at)
         self.membership_outcomes.append(outcome)
         self.excluded_replicas.update(outcome.excluded)
+        self.log.info(
+            "membership change complete: excluded %s, included %s",
+            outcome.excluded,
+            outcome.included,
+        )
         new_committee = [
             replica for replica in self.committee() if replica not in outcome.excluded
         ]

@@ -39,6 +39,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 # the network simulator imports it, so a top-level import of e.g.
 # repro.analysis would close an import cycle.  Summaries import
 # repro.analysis.metrics lazily inside Histogram.snapshot instead.
+# (repro.common.context is leaf-level — stdlib only — and therefore safe.)
+from repro.common.context import ActivationScope
 
 #: Labels are rendered into metric keys as ``name{k=v,k2=v2}``.
 MetricKey = str
@@ -270,7 +272,9 @@ class TelemetryRegistry:
 
 # -- the current registry ------------------------------------------------------
 
-_CURRENT: Optional[TelemetryRegistry] = None
+#: Activation state shared with the tracing layer's equivalent scope (see
+#: :mod:`repro.common.context` for the nesting/shielding semantics).
+_SCOPE = ActivationScope("telemetry")
 
 
 def current() -> Optional[TelemetryRegistry]:
@@ -280,23 +284,16 @@ def current() -> Optional[TelemetryRegistry]:
     default their ``telemetry`` argument to this, so activating a registry
     around a scenario cell instruments the whole stack it builds.
     """
-    return _CURRENT
+    return _SCOPE.current()
 
 
-@contextlib.contextmanager
-def activate(registry: Optional[TelemetryRegistry]) -> Iterator[Optional[TelemetryRegistry]]:
+def activate(registry: Optional[TelemetryRegistry]):
     """Install ``registry`` as the current registry for the enclosed block.
 
     ``activate(None)`` explicitly disables telemetry for the block (useful to
     shield a sub-run from an outer registry).
     """
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = registry
-    try:
-        yield registry
-    finally:
-        _CURRENT = previous
+    return _SCOPE.activate(registry)
 
 
 def protocol_group(protocol: Any) -> str:

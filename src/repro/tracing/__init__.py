@@ -1,0 +1,61 @@
+"""Causal tracing, flight recorder and online invariant monitors.
+
+Enable by activating a :class:`TraceRuntime` around the code that builds the
+stack (mirroring :mod:`repro.telemetry`)::
+
+    from repro import tracing
+
+    runtime = tracing.TraceRuntime.enabled()
+    with tracing.activate(runtime):
+        system = ZLBSystem.create(...)
+        system.run_instances(2)
+    print(tracing.render_critical_path(
+        tracing.critical_path(runtime.tracer)))
+
+or pass ``--tracing`` / the ``trace`` subcommand to ``python -m
+repro.scenarios``.  Disabled (the default) the whole layer costs one ``None``
+check per instrumented site.
+"""
+
+from repro.tracing.core import (
+    Span,
+    TraceContext,
+    Tracer,
+    TraceRuntime,
+    activate,
+    current,
+    topic_trace_attrs,
+)
+from repro.tracing.critical_path import critical_path, render_critical_path
+from repro.tracing.export import (
+    chrome_trace,
+    span_tree,
+    write_chrome_trace,
+    write_span_tree,
+)
+from repro.tracing.monitors import (
+    InvariantViolation,
+    InvariantViolationError,
+    MonitorSet,
+)
+from repro.tracing.recorder import FlightRecorder
+
+__all__ = [
+    "FlightRecorder",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "MonitorSet",
+    "Span",
+    "TraceContext",
+    "TraceRuntime",
+    "Tracer",
+    "activate",
+    "chrome_trace",
+    "critical_path",
+    "current",
+    "render_critical_path",
+    "span_tree",
+    "topic_trace_attrs",
+    "write_chrome_trace",
+    "write_span_tree",
+]

@@ -1,0 +1,391 @@
+"""Causal tracing over the simulator's Topic/Router envelopes.
+
+The layer mirrors the telemetry contract exactly: **instrumented code holds
+either a real :class:`TraceRuntime` or ``None``**, and every hot-path site
+guards with ``if tracing is not None`` — disabled tracing is a single pointer
+comparison.  When enabled, causality flows through three mechanisms:
+
+* every :class:`~repro.network.message.Message` carries an optional
+  ``trace_ctx`` (trace id + parent span id), stamped from the *active* context
+  at submission time by the simulator's ``submit``/``submit_broadcast``;
+* every delivery of a context-carrying message opens a child span named after
+  the topic's protocol group and message kind, activates it around the
+  process's ``on_message`` dispatch (so anything *sent while handling* chains
+  off the delivery), and closes it at the same simulated instant — a broadcast
+  therefore yields one child span per recipient off the shared envelope;
+* timers capture the context active at ``set_timer`` time and restore it
+  around the callback, so delayed continuations (zero-phase grace votes,
+  retransmissions) stay on their causal chain.
+
+Tracing is strictly observational: it consumes no randomness and schedules no
+events, so enabling it cannot perturb a seeded run's event order — the fixed
+fig4 golden outcomes hold with tracing on or off.
+
+Protocol components additionally emit structured point *events*
+(``rbc.deliver``, ``bin.decide``, ``zlb.commit``, ...) carrying the consensus
+instance; the critical-path analysis consumes those rather than reconstructing
+phases from the span tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.context import ActivationScope
+from repro.telemetry.core import protocol_group
+
+# NOTE: like repro.telemetry.core, this module is imported by the network
+# simulator and must not import repro.network (or anything that imports it)
+# at module level; topic helpers are imported lazily where needed.
+
+
+class TraceContext:
+    """An immutable (trace id, span id) pair riding on messages and timers."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def fmt(self) -> str:
+        """Compact ``tN:sM`` rendering used in logs and recorder dumps."""
+        return f"t{self.trace_id}:s{self.span_id}"
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.fmt()})"
+
+
+class Span:
+    """One timed unit of work attributed to a replica, in simulated seconds."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "replica",
+        "start",
+        "end",
+        "attrs",
+        "ctx",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        replica: Any,
+        start: float,
+        attrs: Optional[Dict[str, Any]],
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.replica = replica
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        #: The context children inherit; built once so repeated message
+        #: stamping off the same span shares one object.
+        self.ctx = TraceContext(trace_id, span_id)
+
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "replica": self.replica,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name} {self.ctx.fmt()} r={self.replica} "
+            f"[{self.start:.6f}, {self.end}])"
+        )
+
+
+class Tracer:
+    """Collects spans and structured events for one traced run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        #: Structured point events: dicts with name/replica/t/trace/span plus
+        #: free-form attrs — the critical-path analysis input.
+        self.events: List[Dict[str, Any]] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._active: Optional[TraceContext] = None
+
+    # -- context ----------------------------------------------------------------
+
+    @property
+    def current_ctx(self) -> Optional[TraceContext]:
+        """The context new messages/timers/spans inherit, or ``None``."""
+        return self._active
+
+    def activate(self, ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Install ``ctx`` as the active context; returns the previous one.
+
+        Callers must restore the returned value (see :meth:`restore`) in a
+        ``finally`` block — dispatch nests, and an unbalanced activate would
+        leak one handler's causality into its siblings.
+        """
+        previous = self._active
+        self._active = ctx
+        return previous
+
+    def restore(self, previous: Optional[TraceContext]) -> None:
+        self._active = previous
+
+    # -- spans ------------------------------------------------------------------
+
+    def start_trace(
+        self, name: str, replica: Any, at: float, **attrs: Any
+    ) -> Span:
+        """Open a root span beginning a fresh trace (e.g. one ASMR instance)."""
+        span = Span(
+            trace_id=next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_id=None,
+            name=name,
+            replica=replica,
+            start=at,
+            attrs=attrs or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def start_span(
+        self,
+        name: str,
+        replica: Any,
+        at: float,
+        parent: Optional[TraceContext] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span under ``parent`` (default: the active context).
+
+        With no parent anywhere the span becomes the root of a new trace.
+        """
+        parent_ctx = parent if parent is not None else self._active
+        if parent_ctx is None:
+            return self.start_trace(name, replica, at, **attrs)
+        span = Span(
+            trace_id=parent_ctx.trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_ctx.span_id,
+            name=name,
+            replica=replica,
+            start=at,
+            attrs=attrs or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span, at: float) -> None:
+        span.end = at
+
+    # -- structured events -------------------------------------------------------
+
+    def event(self, name: str, replica: Any, at: float, **attrs: Any) -> None:
+        """Record a point event attributed to the active context (if any)."""
+        ctx = self._active
+        self.events.append(
+            {
+                "name": name,
+                "replica": replica,
+                "t": at,
+                "trace": ctx.trace_id if ctx is not None else None,
+                "span": ctx.span_id if ctx is not None else None,
+                "attrs": attrs,
+            }
+        )
+
+    # -- summaries ----------------------------------------------------------------
+
+    def trace_count(self) -> int:
+        return len({span.trace_id for span in self.spans})
+
+
+def topic_trace_attrs(topic: Any) -> Dict[str, Any]:
+    """Low-cardinality attributes identifying a sub-protocol topic.
+
+    Extracts the protocol head, the consensus ``instance`` and the proposer
+    ``slot`` from topics shaped like ``("sbc", epoch, instance, "rbc", slot)``
+    or ``("excl", epoch, "bin", slot)``; components cache the result once at
+    construction so per-event cost is a dict copy at most.
+    """
+    segments = getattr(topic, "segments", None)
+    if segments is None:
+        from repro.network.topic import as_topic
+
+        segments = as_topic(topic).segments
+    attrs: Dict[str, Any] = {"head": str(segments[0]).partition(".")[0]}
+    for layer in ("rbc", "bin"):
+        if layer in segments[1:]:
+            index = segments.index(layer)
+            if index + 1 < len(segments):
+                attrs["slot"] = segments[index + 1]
+            if index >= 2:
+                attrs["instance"] = segments[index - 1]
+            return attrs
+    if attrs["head"] == "sbc" and len(segments) >= 3:
+        attrs["instance"] = segments[2]
+    return attrs
+
+
+class TraceRuntime:
+    """Bundles the tracer with the flight recorder and invariant monitors.
+
+    This is the object the :class:`~repro.network.simulator.NetworkSimulator`
+    holds (or ``None``); its hook methods are only ever reached when tracing
+    is enabled, so they can afford per-call work the bare path cannot.
+    """
+
+    __slots__ = ("tracer", "recorder", "monitors")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        recorder: Optional[Any] = None,
+        monitors: Optional[Any] = None,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.recorder = recorder
+        self.monitors = monitors
+
+    @classmethod
+    def enabled(
+        cls,
+        recorder_capacity: int = 512,
+        dump_path: Optional[Any] = None,
+        strict: bool = False,
+    ) -> "TraceRuntime":
+        """A fully wired runtime: tracer + flight recorder + monitors."""
+        from repro.tracing.monitors import MonitorSet
+        from repro.tracing.recorder import FlightRecorder
+
+        recorder = FlightRecorder(capacity=recorder_capacity)
+        monitors = MonitorSet(recorder=recorder, dump_path=dump_path, strict=strict)
+        return cls(recorder=recorder, monitors=monitors)
+
+    # -- simulator hooks -----------------------------------------------------------
+
+    def on_send(self, message: Any, now: float) -> None:
+        """Stamp the active context onto an outgoing envelope and record it."""
+        if message.trace_ctx is None:
+            message.trace_ctx = self.tracer._active
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_message(now, message.sender, "send", message)
+
+    def on_drop(self, message: Any, now: float, count: int = 1) -> None:
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_message(now, message.sender, "drop", message, count=count)
+
+    def deliver(self, process: Any, message: Any, now: float) -> None:
+        """Dispatch a delivery inside a child span of the message's context."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_message(now, message.recipient, "deliver", message)
+        ctx = message.trace_ctx
+        if ctx is None:
+            process.on_message(message)
+            return
+        tracer = self.tracer
+        span = tracer.start_span(
+            f"{protocol_group(message.topic)}/{message.kind}",
+            message.recipient,
+            now,
+            parent=ctx,
+            sender=message.sender,
+            topic=message.topic.canonical,
+        )
+        previous = tracer.activate(span.ctx)
+        try:
+            process.on_message(message)
+        finally:
+            tracer.restore(previous)
+            tracer.finish(span, now)
+
+    def fire_timer(
+        self,
+        callback: Callable[[], None],
+        ctx: Optional[TraceContext],
+        now: float,
+        owner: Any,
+    ) -> None:
+        """Run a timer callback under the context captured at scheduling time."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(
+                now,
+                owner,
+                "timer",
+                f"timer fired (owner={owner})",
+                trace=ctx.fmt() if ctx is not None else None,
+            )
+        tracer = self.tracer
+        previous = tracer.activate(ctx)
+        try:
+            callback()
+        finally:
+            tracer.restore(previous)
+
+    # -- summaries -------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serialisable digest persisted by the scenario runner."""
+        from repro.tracing.critical_path import critical_path
+
+        tracer = self.tracer
+        summary: Dict[str, Any] = {
+            "traces": tracer.trace_count(),
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+            "critical_path": critical_path(tracer),
+        }
+        if self.monitors is not None:
+            summary["monitors"] = self.monitors.status()
+        if self.recorder is not None:
+            summary["recorder_events"] = len(self.recorder)
+        return summary
+
+
+# -- the current runtime ---------------------------------------------------------
+
+#: Activation state; same nesting/shielding semantics as telemetry's scope.
+_SCOPE = ActivationScope("tracing")
+
+
+def current() -> Optional[TraceRuntime]:
+    """The active runtime installed by :func:`activate`, or ``None``.
+
+    ``NetworkSimulator`` and ``ZLBSystem.create`` default their ``tracing``
+    argument to this, so activating a runtime around a scenario cell traces
+    the whole stack it builds.
+    """
+    return _SCOPE.current()
+
+
+def activate(runtime: Optional[TraceRuntime]):
+    """Install ``runtime`` as the current tracing runtime for the block.
+
+    ``activate(None)`` explicitly disables tracing for the block.
+    """
+    return _SCOPE.activate(runtime)

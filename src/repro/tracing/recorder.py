@@ -1,0 +1,133 @@
+"""The flight recorder: bounded per-replica ring buffers of network events.
+
+Every send, delivery, drop and timer firing is appended to the owning
+replica's ``collections.deque(maxlen=capacity)``; old entries fall off the
+back, so a long run retains only the *recent past* — which is exactly what a
+post-mortem needs.  Entries carry a global monotonically increasing sequence
+number stamped at record time; because the simulator is single-threaded and
+processes events in timestamp order, sorting the union of all buffers by
+``(t, seq)`` reconstructs the causal order of everything retained.
+
+The recorder is only ever touched from :class:`~repro.tracing.core
+.TraceRuntime` hooks (enabled mode) — the disabled path never sees it.  Dumps
+are JSONL (one event per line) so they stream into ``jq``/pandas unchanged;
+:meth:`render` produces the compact text block pytest attaches to failing
+test reports.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default per-replica ring capacity; enough to hold several consensus
+#: instances' worth of traffic at small n without unbounded growth.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Last-N delivery/timer events per replica, merged in causal order."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._buffers: Dict[Any, Deque[Dict[str, Any]]] = {}
+        self._seq = itertools.count()
+        self._recorded = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        at: float,
+        replica: Any,
+        kind: str,
+        detail: str,
+        trace: Optional[str] = None,
+    ) -> None:
+        """Append one event to ``replica``'s ring buffer."""
+        buffer = self._buffers.get(replica)
+        if buffer is None:
+            buffer = self._buffers[replica] = collections.deque(
+                maxlen=self.capacity
+            )
+        buffer.append(
+            {
+                "seq": next(self._seq),
+                "t": at,
+                "replica": replica,
+                "type": kind,
+                "detail": detail,
+                "trace": trace,
+            }
+        )
+        self._recorded += 1
+
+    def record_message(
+        self, at: float, replica: Any, kind: str, message: Any, count: int = 1
+    ) -> None:
+        """Record a message event; the self-describing envelope is the detail."""
+        detail = message.describe()
+        if count > 1:
+            detail = f"{detail} (x{count})"
+        ctx = message.trace_ctx
+        self.record(at, replica, kind, detail, trace=ctx.fmt() if ctx else None)
+
+    # -- reading -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Events currently retained (not the total ever recorded)."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded, including those already evicted."""
+        return self._recorded
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All retained events merged across replicas, in causal order.
+
+        The simulation is single-threaded and timestamp-ordered, so sorting
+        by ``(t, seq)`` — sequence number breaking simultaneous-event ties in
+        record order — *is* the causal order of the retained suffix.
+        """
+        merged = [
+            event for buffer in self._buffers.values() for event in buffer
+        ]
+        merged.sort(key=lambda event: (event["t"], event["seq"]))
+        return merged
+
+    # -- dumping -----------------------------------------------------------------
+
+    def dump_jsonl(self, path: Any) -> str:
+        """Write the causally-ordered event log as JSONL; returns the path."""
+        path = str(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+        return path
+
+    def render(self, limit: int = 40) -> str:
+        """Human-readable tail of the event log (pytest failure reports)."""
+        events = self.events()
+        shown = events[-limit:]
+        lines = [
+            f"flight recorder: {len(events)} retained event(s)"
+            f" ({self._recorded} recorded, capacity {self.capacity}/replica)"
+        ]
+        if len(events) > len(shown):
+            lines.append(f"... {len(events) - len(shown)} earlier event(s) elided")
+        for event in shown:
+            trace = event["trace"]
+            # Message details are self-describing (they embed the context);
+            # only annotate events whose detail does not carry it already.
+            trace = f" [{trace}]" if trace and trace not in event["detail"] else ""
+            lines.append(
+                f"  t={event['t']:.6f}s r={event['replica']} "
+                f"{event['type']:<7} {event['detail']}{trace}"
+            )
+        return "\n".join(lines)

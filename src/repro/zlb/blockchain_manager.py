@@ -101,6 +101,8 @@ class BlockchainManager:
         #: Telemetry registry mirrored by the stats counters; attached by the
         #: owning replica at bind time (None = disabled, zero overhead).
         self.telemetry = None
+        #: Screening report of the most recent commit (observability).
+        self.last_append_report: Optional[AppendReport] = None
 
     # -- client-facing --------------------------------------------------------------
 
@@ -181,6 +183,7 @@ class BlockchainManager:
             transactions, assume_verified=not decision.unvalidated_slots
         )
         self._count_commit_report(report)
+        self.last_append_report = report
         block = self.record.append_block(
             report.accepted,
             proposers=tuple(decision.included_slots()),
@@ -270,6 +273,15 @@ class BlockchainManager:
     def chain_height(self) -> int:
         """Current block height of the local branch."""
         return self.record.height
+
+    def conserved_total(self) -> int:
+        """UTXO supply plus the deposit pool — the conserved quantity.
+
+        Punishment and merge refunds only move value between the two pots;
+        the sum may shrink (burns) but must never exceed the genesis
+        baseline.  The invariant monitors check exactly this.
+        """
+        return self.record.utxos.total_supply() + self.record.deposit
 
     def realized_attack_gain(self) -> int:
         """Net value the coalition actually realised against this branch."""

@@ -72,7 +72,18 @@ class ZLBReplica(ASMRReplica):
     # -- ASMR hooks ---------------------------------------------------------------
 
     def _make_proposal(self, instance: int) -> List[Transaction]:
-        return self.blockchain.next_proposal(instance)
+        batch = self.blockchain.next_proposal(instance)
+        tracing = self.tracing
+        if tracing is not None and batch:
+            # Closes the per-transaction mempool wait opened by mempool.admit.
+            tracing.tracer.event(
+                "mempool.batch",
+                self.replica_id,
+                self.now,
+                instance=instance,
+                txs=[tx.tx_id for tx in batch],
+            )
+        return batch
 
     def _validate_proposal(self, proposer: ReplicaId, payload: Any) -> bool:
         return self.blockchain.validate_proposal(proposer, payload)
@@ -84,6 +95,25 @@ class ZLBReplica(ASMRReplica):
             self.telemetry.counter("zlb.transactions_committed").inc(
                 len(block.transactions)
             )
+        tracing = self.tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "zlb.commit",
+                self.replica_id,
+                self.now,
+                instance=instance,
+                txs=len(block.transactions),
+                height=block.index,
+            )
+            report = self.blockchain.last_append_report
+            tracing.monitors.on_commit(
+                self.replica_id,
+                instance,
+                report.invalid if report is not None else 0,
+                report.phantom if report is not None else 0,
+                self.blockchain.conserved_total(),
+                self.now,
+            )
 
     def _merge(self, instance: int, remote_proposals: Dict[ReplicaId, Any]) -> None:
         outcome = self.blockchain.merge_remote_decision(instance, remote_proposals)
@@ -93,15 +123,40 @@ class ZLBReplica(ASMRReplica):
                 outcome.merged_transactions
             )
             self.telemetry.timeline("zlb.recovery").mark("merged", self.now)
+        tracing = self.tracing
+        if tracing is not None:
+            tracing.tracer.event(
+                "zlb.merge",
+                self.replica_id,
+                self.now,
+                instance=instance,
+                merged=outcome.merged_transactions,
+                refunded=outcome.refunded_amount,
+            )
+            tracing.monitors.on_merge(
+                self.replica_id, instance, self.blockchain.conserved_total(), self.now
+            )
 
     def _exclude(self, excluded: List[ReplicaId]) -> None:
         self.blockchain.punish_replicas(excluded)
+        tracing = self.tracing
+        if tracing is not None:
+            tracing.monitors.on_punish(
+                self.replica_id, self.blockchain.conserved_total(), self.now
+            )
 
     # -- client API ------------------------------------------------------------------
 
     def submit_transaction(self, transaction: Transaction) -> bool:
         """Client entry point: enqueue a payment request at this replica."""
-        return self.blockchain.submit_transaction(transaction)
+        accepted = self.blockchain.submit_transaction(transaction)
+        tracing = self.tracing
+        if accepted and tracing is not None:
+            # Opens the per-transaction mempool wait; closed by mempool.batch.
+            tracing.tracer.event(
+                "mempool.admit", self.replica_id, self.now, tx=transaction.tx_id
+            )
+        return accepted
 
     def submit_transactions(self, transactions) -> int:
         """Enqueue many payment requests; returns how many were accepted."""

@@ -34,6 +34,8 @@ from repro.network.simulator import NetworkSimulator
 from repro.smr.pool import CandidatePool
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.core import TelemetryRegistry
+from repro.tracing import core as tracing_core
+from repro.tracing.core import TraceRuntime
 from repro.zlb.blockchain_manager import BlockchainManager, replica_deposit_account
 from repro.zlb.node import ZLBReplica
 from repro.zlb.payment import DepositPolicy
@@ -196,16 +198,22 @@ class ZLBSystem:
         batch_size: Optional[int] = None,
         max_time: float = 3_600.0,
         telemetry: Optional[TelemetryRegistry] = None,
+        tracing: Optional[TraceRuntime] = None,
     ) -> "ZLBSystem":
         """Build a complete deployment; see the class docstring for the pieces.
 
         ``telemetry`` instruments the whole stack (simulator, broadcast,
         consensus, membership, blockchain managers); it defaults to the
         registry installed by :func:`repro.telemetry.activate`, i.e. None —
-        disabled — unless a scenario cell activated one.
+        disabled — unless a scenario cell activated one.  ``tracing`` follows
+        the same convention with :func:`repro.tracing.activate`; when a
+        runtime carries invariant monitors they are configured here with the
+        honest set, the expected-disagreement flag, and each replica's
+        conserved-value baseline.
         """
         n = fault_config.n
         telemetry = telemetry if telemetry is not None else telemetry_core.current()
+        tracing = tracing if tracing is not None else tracing_core.current()
         protocol_config = protocol_config or ProtocolConfig(
             batch_size=batch_size or 50
         )
@@ -235,6 +243,7 @@ class ZLBSystem:
             delay_model=delay_model,
             config=SimulationConfig(seed=seed, max_time=max_time),
             telemetry=telemetry,
+            tracing=tracing,
         )
 
         committee = list(range(n))
@@ -318,6 +327,20 @@ class ZLBSystem:
                 replica.attack_strategy = strategy
             simulator.add_process(replica)
             replicas[replica_id] = replica
+
+        if tracing is not None and tracing.monitors is not None:
+            tracing.monitors.configure(
+                honest={
+                    replica_id
+                    for replica_id in committee
+                    if plan.fault_of(replica_id) is FaultKind.HONEST
+                },
+                expect_disagreement=attack is not None,
+            )
+            for replica_id, replica in replicas.items():
+                tracing.monitors.register_ledger(
+                    replica_id, replica.blockchain.conserved_total()
+                )
 
         system = ZLBSystem(
             fault_config=fault_config,

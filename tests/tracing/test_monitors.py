@@ -1,0 +1,211 @@
+"""Flight recorder and online invariant monitors."""
+
+import json
+
+import pytest
+
+from repro.network.message import Message
+from repro.tracing.core import TraceContext, TraceRuntime
+from repro.tracing.monitors import (
+    InvariantViolationError,
+    MonitorSet,
+)
+from repro.tracing.recorder import FlightRecorder
+
+
+class TestFlightRecorder:
+    def test_capacity_bounds_per_replica_buffers(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(float(i), replica=0, kind="timer", detail=f"e{i}")
+        assert len(recorder) == 3
+        assert recorder.recorded == 10
+        # Oldest events were evicted; the last three survive.
+        assert [event["detail"] for event in recorder.events()] == ["e7", "e8", "e9"]
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_merge_replicas_in_causal_order(self):
+        recorder = FlightRecorder()
+        # Interleave replicas with out-of-order insertion times per buffer.
+        recorder.record(2.0, replica=1, kind="send", detail="late")
+        recorder.record(1.0, replica=0, kind="send", detail="early")
+        recorder.record(2.0, replica=0, kind="deliver", detail="tie-second")
+        merged = recorder.events()
+        assert [event["detail"] for event in merged] == [
+            "early",
+            "late",
+            "tie-second",
+        ]
+        # Ties on time break by global sequence — insertion (causal) order in
+        # the single-threaded simulator.
+        assert merged[1]["seq"] < merged[2]["seq"]
+
+    def test_record_message_uses_describe_and_trace(self):
+        recorder = FlightRecorder()
+        message = Message(sender=0, recipient=1, protocol="p", kind="K")
+        message.trace_ctx = TraceContext(trace_id=3, span_id=9)
+        recorder.record_message(0.5, replica=0, kind="send", message=message)
+        event = recorder.events()[0]
+        assert event["trace"] == "t3:s9"
+        assert "K" in event["detail"]
+        rendered = recorder.render()
+        # The trace id shows up exactly once per line (describe embeds it).
+        assert rendered.count("t3:s9") == 1
+
+    def test_dump_jsonl_round_trips(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record(1.0, replica=0, kind="send", detail="a")
+        recorder.record(2.0, replica=1, kind="deliver", detail="b")
+        path = recorder.dump_jsonl(tmp_path / "dump.jsonl")
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [line["detail"] for line in lines] == ["a", "b"]
+        assert lines[0]["t"] <= lines[1]["t"]
+
+
+class TestAgreementMonitor:
+    def test_matching_decisions_stay_green(self):
+        monitors = MonitorSet()
+        monitors.on_decision(0, epoch=0, instance=1, digest="d", at=1.0)
+        monitors.on_decision(1, epoch=0, instance=1, digest="d", at=1.1)
+        assert monitors.ok
+
+    def test_divergent_decisions_trip(self):
+        monitors = MonitorSet()
+        monitors.on_decision(0, epoch=0, instance=1, digest="d1", at=1.0)
+        monitors.on_decision(1, epoch=0, instance=1, digest="d2", at=1.1)
+        assert not monitors.ok
+        assert monitors.violations[0].name == "agreement"
+
+    def test_expected_disagreement_is_not_a_violation(self):
+        monitors = MonitorSet(expect_disagreement=True)
+        monitors.on_decision(0, epoch=0, instance=1, digest="d1", at=1.0)
+        monitors.on_decision(1, epoch=0, instance=1, digest="d2", at=1.1)
+        monitors.on_disagreement(0, instance=1, at=1.2)
+        assert monitors.ok
+
+    def test_deceitful_replicas_do_not_count(self):
+        monitors = MonitorSet()
+        monitors.configure(honest={0, 1})
+        monitors.on_decision(0, epoch=0, instance=1, digest="d1", at=1.0)
+        monitors.on_decision(5, epoch=0, instance=1, digest="d2", at=1.1)
+        assert monitors.ok
+
+
+class TestValidityAndSupplyMonitors:
+    def test_invalid_commit_trips_validity(self):
+        monitors = MonitorSet()
+        monitors.register_ledger(0, conserved_total=100)
+        monitors.on_commit(0, instance=1, invalid=2, phantom=0, conserved_total=100, at=1.0)
+        assert not monitors.ok
+        assert monitors.violations[0].name == "validity"
+
+    def test_forged_double_spend_mints_value_and_trips_supply(self, tmp_path):
+        """A deceitful mint — value from nowhere — must trip the supply
+        monitor and produce a causally-ordered flight-recorder dump."""
+        from repro.ledger.block import make_genesis_block
+        from repro.ledger.merge import BlockchainRecord
+        from repro.ledger.utxo import UTXO
+
+        genesis_block, genesis_utxos = make_genesis_block([("alice", 1_000)])
+        record = BlockchainRecord(
+            initial_deposit=500, genesis=(genesis_block, genesis_utxos)
+        )
+        baseline = record.utxos.total_supply() + record.deposit
+
+        recorder = FlightRecorder()
+        recorder.record(0.5, replica=0, kind="deliver", detail="PROPOSE batch-1")
+        recorder.record(1.0, replica=0, kind="deliver", detail="DECIDE batch-1")
+        dump_path = tmp_path / "flight.jsonl"
+        monitors = MonitorSet(recorder=recorder, dump_path=dump_path)
+        monitors.register_ledger(0, baseline)
+
+        # Forge a coin: an output no transaction ever created.
+        record.utxos.add(UTXO(utxo_id="forged:0", account="mallory", amount=777))
+        monitors.on_commit(
+            0,
+            instance=1,
+            invalid=0,
+            phantom=0,
+            conserved_total=record.utxos.total_supply() + record.deposit,
+            at=1.5,
+        )
+
+        assert not monitors.ok
+        violation = monitors.violations[0]
+        assert violation.name == "supply-conservation"
+        assert violation.detail["minted"] == 777
+        # The first violation dumped the recorder, causally ordered.
+        assert monitors.dump_written
+        events = [
+            json.loads(line)
+            for line in open(dump_path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [event["detail"] for event in events] == [
+            "PROPOSE batch-1",
+            "DECIDE batch-1",
+        ]
+        assert events[0]["t"] <= events[1]["t"]
+
+    def test_burning_value_is_allowed(self):
+        monitors = MonitorSet()
+        monitors.register_ledger(0, conserved_total=100)
+        monitors.on_commit(0, instance=1, invalid=0, phantom=0, conserved_total=90, at=1.0)
+        monitors.on_merge(0, instance=1, conserved_total=80, at=2.0)
+        monitors.on_punish(0, conserved_total=70, at=3.0)
+        assert monitors.ok
+
+    def test_strict_mode_raises(self):
+        monitors = MonitorSet(strict=True)
+        monitors.register_ledger(0, conserved_total=100)
+        with pytest.raises(InvariantViolationError):
+            monitors.on_commit(
+                0, instance=1, invalid=0, phantom=0, conserved_total=101, at=1.0
+            )
+
+
+class TestZeroLossFinalize:
+    def test_gain_within_seizure_is_green(self):
+        monitors = MonitorSet()
+        monitors.finalize(realized_gain=100, seized_deposit=500)
+        assert monitors.ok
+
+    def test_gain_exceeding_seizure_trips(self):
+        monitors = MonitorSet()
+        monitors.finalize(realized_gain=600, seized_deposit=500)
+        assert not monitors.ok
+        assert monitors.violations[0].name == "zero-loss"
+
+    def test_deposit_shortfall_trips(self):
+        monitors = MonitorSet()
+        monitors.finalize(realized_gain=0, seized_deposit=0, deposit_shortfall=10)
+        assert not monitors.ok
+
+    def test_status_is_json_serialisable(self):
+        monitors = MonitorSet()
+        monitors.register_ledger(0, conserved_total=100)
+        monitors.on_decision(0, epoch=0, instance=1, digest="d", at=1.0)
+        monitors.finalize(realized_gain=1, seized_deposit=0)
+        status = monitors.status()
+        assert status["ok"] is False
+        json.dumps(status)
+
+
+class TestRuntimeWiring:
+    def test_enabled_builds_recorder_and_monitors(self):
+        runtime = TraceRuntime.enabled(recorder_capacity=16)
+        assert runtime.recorder is not None
+        assert runtime.monitors is not None
+        assert runtime.monitors.ok
+
+    def test_summary_is_json_serialisable(self):
+        runtime = TraceRuntime.enabled()
+        runtime.tracer.event("zlb.commit", 0, 1.0, instance=0)
+        json.dumps(runtime.summary())
