@@ -5,9 +5,11 @@ Replicas batch pending requests into proposals of ``batch_size`` transactions
 id, preserves arrival order and drops transactions once they are decided.
 
 Occupancy is tracked incrementally — ``len()`` in transactions and
-:attr:`Mempool.pending_bytes` in estimated wire bytes — and an optional
-``gauge_hook`` callback fires after every mutation so telemetry gauges can
-mirror the pool without polling it.
+:attr:`Mempool.pending_bytes` in estimated wire bytes — and gauge hooks
+(:meth:`Mempool.add_gauge_hook`) fire after every mutation so telemetry
+gauges and live-observability samplers can mirror the pool without polling
+it.  Multiple subscribers coexist: the telemetry layer and the obs plane
+each register their own hook.
 """
 
 from __future__ import annotations
@@ -30,8 +32,23 @@ class Mempool:
         self.dropped = 0
         #: Transactions rejected because their id was already pending.
         self.duplicates = 0
-        #: Invoked with the pool after every mutation (telemetry gauges).
-        self.gauge_hook: Optional[Callable[["Mempool"], None]] = None
+        #: Hooks invoked with the pool after every mutation (telemetry
+        #: gauges, obs samplers).  Kept as a list so subscribers compose.
+        self._gauge_hooks: List[Callable[["Mempool"], None]] = []
+
+    @property
+    def gauge_hook(self) -> Optional[Callable[["Mempool"], None]]:
+        """The first registered hook (legacy single-subscriber view)."""
+        return self._gauge_hooks[0] if self._gauge_hooks else None
+
+    @gauge_hook.setter
+    def gauge_hook(self, hook: Optional[Callable[["Mempool"], None]]) -> None:
+        # Legacy assignment semantics: replace every subscriber (None clears).
+        self._gauge_hooks = [hook] if hook is not None else []
+
+    def add_gauge_hook(self, hook: Callable[["Mempool"], None]) -> None:
+        """Subscribe ``hook`` to mutations without displacing other hooks."""
+        self._gauge_hooks.append(hook)
 
     @property
     def pending_bytes(self) -> int:
@@ -39,8 +56,8 @@ class Mempool:
         return self._pending_bytes
 
     def _notify(self) -> None:
-        if self.gauge_hook is not None:
-            self.gauge_hook(self)
+        for hook in self._gauge_hooks:
+            hook(self)
 
     def add(self, transaction: Transaction) -> bool:
         """Add a transaction; returns False when duplicate or pool is full."""

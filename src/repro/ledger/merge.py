@@ -394,10 +394,17 @@ class BlockchainRecord:
         # block spending one of them is a genuine double spend to refund, not
         # a phantom to reject.
         merge_spent: Set[str] = set()
+        # The loop below runs once per conflicting transaction on the merge
+        # bench's hottest path; bind the per-iteration lookups once.
+        known_tx_ids = self.known_tx_ids
+        utxos_contains = self.utxos.contains
+        consumed_index = self._consumed
+        punished = self.punished_accounts
         for transaction in block.transactions:
-            if self.contains_tx(transaction.tx_id):
+            if transaction.tx_id in known_tx_ids:
                 outcome.already_known += 1
-                self._track_branch(branch_state, transaction)
+                if branch_state is not None:
+                    self._track_branch(branch_state, transaction)
                 continue
             if not transaction.is_valid_cached():
                 # Full verification, signatures included: the remote branch
@@ -408,32 +415,37 @@ class BlockchainRecord:
                 # fingerprint comparison.
                 outcome.rejected_transactions += 1
                 continue
-            phantom = [
-                tx_input
-                for tx_input in transaction.inputs
-                if not self.utxos.contains(tx_input.utxo_id)
-                and tx_input.utxo_id not in self._consumed
-                and tx_input.utxo_id not in merge_spent
-            ]
+            phantom = 0
+            for tx_input in transaction.inputs:
+                uid = tx_input.utxo_id
+                if (
+                    not utxos_contains(uid)
+                    and uid not in consumed_index
+                    and uid not in merge_spent
+                ):
+                    phantom += 1
             if phantom:
                 outcome.rejected_transactions += 1
-                outcome.phantom_inputs += len(phantom)
+                outcome.phantom_inputs += phantom
                 continue
             # Replay on the remote branch's view *before* the canonical commit
             # mutates the live table the view overlays.
-            self._track_branch(branch_state, transaction)
+            if branch_state is not None:
+                self._track_branch(branch_state, transaction)
             before = len(consumed)
             self._commit_tx_merge(transaction, outcome, created_ids, consumed)
             outcome.merged_transactions += 1
-            for index, tx_output in enumerate(transaction.outputs):
-                if tx_output.account in self.punished_accounts:
-                    utxo_id = transaction.output_utxo_id(index)
-                    if self.utxos.contains(utxo_id):
-                        consumed.append(self.utxos.remove(utxo_id))
-                        self.deposit += tx_output.amount
-                        self.seized_total += tx_output.amount
-                        outcome.confiscated_outputs += 1
-            merge_spent.update(utxo.utxo_id for utxo in consumed[before:])
+            if punished:
+                for index, tx_output in enumerate(transaction.outputs):
+                    if tx_output.account in punished:
+                        utxo_id = transaction.output_utxo_id(index)
+                        if utxos_contains(utxo_id):
+                            consumed.append(self.utxos.remove(utxo_id))
+                            self.deposit += tx_output.amount
+                            self.seized_total += tx_output.amount
+                            outcome.confiscated_outputs += 1
+            if len(consumed) > before:
+                merge_spent.update(utxo.utxo_id for utxo in consumed[before:])
         self._refund_inputs(outcome, consumed)
         self.merged_blocks.append(block)
         self._record_delta(created_ids, consumed)
@@ -463,24 +475,31 @@ class BlockchainRecord:
         consumed: List[UTXO],
     ) -> None:
         """``CommitTxMerge`` (Alg. 2 lines 17–23)."""
+        utxos = self.utxos
+        utxos_contains = utxos.contains
+        inputs_deposit = self.inputs_deposit
         for tx_input in transaction.inputs:
-            if self.utxos.contains(tx_input.utxo_id):
-                consumed.append(self.utxos.remove(tx_input.utxo_id))
+            uid = tx_input.utxo_id
+            if utxos_contains(uid):
+                consumed.append(utxos.remove(uid))
             else:
                 # The input was genuinely spent on our branch (phantom inputs
                 # were screened out above): fund the conflict from the deposit
                 # so no honest recipient loses coins.  This is the coalition
                 # actually realising a double spend.
-                self.inputs_deposit[tx_input.utxo_id] = tx_input
-                self.deposit -= tx_input.amount
+                inputs_deposit[uid] = tx_input
+                amount = tx_input.amount
+                self.deposit -= amount
                 outcome.refunded_inputs += 1
-                outcome.refunded_amount += tx_input.amount
-                outcome.realized_gain += tx_input.amount
-                self.realized_attack_gain += tx_input.amount
+                outcome.refunded_amount += amount
+                outcome.realized_gain += amount
+                self.realized_attack_gain += amount
         for index, tx_output in enumerate(transaction.outputs):
             utxo_id = transaction.output_utxo_id(index)
-            if not self.utxos.contains(utxo_id):
-                self.utxos.add(
+            # Outputs have positive amounts by shape validation, so the
+            # membership test here licenses the unchecked insert.
+            if not utxos_contains(utxo_id):
+                utxos._insert(
                     UTXO(
                         utxo_id=utxo_id,
                         account=tx_output.account,
@@ -492,8 +511,9 @@ class BlockchainRecord:
 
     def _refund_inputs(self, outcome: MergeOutcome, consumed: List[UTXO]) -> None:
         """``RefundInputs`` (Alg. 2 lines 24–28)."""
+        utxos_contains = self.utxos.contains
         for utxo_id, tx_input in list(self.inputs_deposit.items()):
-            if self.utxos.contains(utxo_id):
+            if utxos_contains(utxo_id):
                 consumed.append(self.utxos.remove(utxo_id))
                 self.deposit += tx_input.amount
                 outcome.realized_gain -= tx_input.amount

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import InvalidTransactionError
 from repro.crypto.hashing import hash_payload
 from repro.crypto.signatures import SignedPayload
+from repro.obs.core import current_profiler
 from repro.ledger.wallet import (
     Wallet,
     address_matches_material,
@@ -196,6 +197,14 @@ class Transaction:
 
     def verify_signatures(self) -> None:
         """Check that every source account signed the body and owns its address."""
+        profiler = current_profiler()
+        if profiler is not None:
+            with profiler.section("crypto.verify"):
+                self._verify_signatures_body()
+            return
+        self._verify_signatures_body()
+
+    def _verify_signatures_body(self) -> None:
         body = self.body_payload()
         for account in self.source_accounts:
             signed = self.signatures.get(account)

@@ -83,6 +83,11 @@ class UTXOTable:
             raise LedgerError(f"UTXO {utxo.utxo_id} already present")
         if utxo.amount <= 0:
             raise LedgerError(f"UTXO {utxo.utxo_id} must have positive amount")
+        self._insert(utxo)
+
+    def _insert(self, utxo: UTXO) -> None:
+        """Unchecked insert; the caller guarantees the id is absent and the
+        amount positive (the merge commit path has just tested both)."""
         self._by_id[utxo.utxo_id] = utxo
         self._by_account.setdefault(utxo.account, {})[utxo.utxo_id] = None
         self._balance[utxo.account] = self._balance.get(utxo.account, 0) + utxo.amount

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.network.simulator import Process
 from repro.network.topic import Segment, Topic, TopicLike, as_topic
+from repro.telemetry.core import protocol_group
 
 #: Handler signature: (topic, sender, kind, body).
 Handler = Callable[[Topic, Any, str, Dict[str, Any]], None]
@@ -126,14 +127,32 @@ class RoutedProcess(Process):
         self.unrouted_messages = 0
 
     def on_message(self, message) -> None:
-        if not self.router.dispatch(
-            message.topic, message.sender, message.kind, message.body
-        ):
-            self.unrouted_messages += 1
-            # Cold path: unrouted traffic is a routing-table bug or late
-            # cross-epoch chatter — worth a debug line either way.
-            self.log.debug("unrouted message: %s", message.describe())
-            self.on_unrouted(message)
+        obs = self.obs
+        if obs is None:
+            if not self.router.dispatch(
+                message.topic, message.sender, message.kind, message.body
+            ):
+                self._note_unrouted(message)
+            return
+        # Profiled path: attribute dispatch wall time to the message's
+        # topic-prefix bucket (``dispatch:sbc:rbc`` etc.) as a child of the
+        # kernel's ``sim.kernel`` section.
+        profiler = obs.profiler
+        profiler.enter("dispatch:" + protocol_group(message.topic))
+        try:
+            if not self.router.dispatch(
+                message.topic, message.sender, message.kind, message.body
+            ):
+                self._note_unrouted(message)
+        finally:
+            profiler.exit()
+
+    def _note_unrouted(self, message) -> None:
+        self.unrouted_messages += 1
+        # Cold path: unrouted traffic is a routing-table bug or late
+        # cross-epoch chatter — worth a debug line either way.
+        self.log.debug("unrouted message: %s", message.describe())
+        self.on_unrouted(message)
 
     def on_unrouted(self, message) -> None:
         """Hook for subclasses that create handlers lazily."""

@@ -31,6 +31,8 @@ from repro.common.logging import replica_logger
 from repro.common.types import ReplicaId
 from repro.network.delays import ConstantDelay, DelayModel
 from repro.network.message import Message
+from repro.obs import core as obs_core
+from repro.obs.core import ObsRuntime
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.core import TelemetryRegistry, protocol_group
 from repro.tracing import core as tracing_core
@@ -58,6 +60,8 @@ class Process:
         self.telemetry: Optional[TelemetryRegistry] = None
         #: Cached tracing runtime (or None when disabled); same contract.
         self.tracing: Optional[TraceRuntime] = None
+        #: Cached obs runtime (or None when disabled); same contract.
+        self.obs: Optional[ObsRuntime] = None
         #: Per-replica logger injecting id, simulated time and trace context.
         self.log = replica_logger(self)
 
@@ -68,6 +72,7 @@ class Process:
         self._simulator = simulator
         self.telemetry = simulator.telemetry
         self.tracing = simulator.tracing
+        self.obs = simulator.obs
 
     @property
     def simulator(self) -> "NetworkSimulator":
@@ -217,6 +222,7 @@ class NetworkSimulator:
         config: Optional[SimulationConfig] = None,
         telemetry: Optional[TelemetryRegistry] = None,
         tracing: Optional[TraceRuntime] = None,
+        obs: Optional[ObsRuntime] = None,
     ):
         self.delay_model = delay_model or ConstantDelay(0.01)
         self.config = config or SimulationConfig()
@@ -229,6 +235,13 @@ class NetworkSimulator:
         #: only — it consumes no randomness and schedules nothing, so seeded
         #: runs are bit-identical with it on or off.
         self.tracing = tracing if tracing is not None else tracing_core.current()
+        #: The run's live-observability runtime, or None (disabled — the
+        #: default); same activation fallback and same observational-only
+        #: guarantee as tracing.  The sampler adopts this simulator's horizon
+        #: and pending-events gauge at construction.
+        self.obs = obs if obs is not None else obs_core.current()
+        if self.obs is not None:
+            self.obs.sampler.attach(self)
         self.rng = random.Random(self.config.seed)
         self._queue: List[_Event] = []
         self._sequence = itertools.count()
@@ -313,6 +326,9 @@ class NetworkSimulator:
         tracing = self.tracing
         if tracing is not None:
             tracing.on_send(message, self._now)
+        obs = self.obs
+        if obs is not None:
+            obs.sampler.count_message(protocol_group(message.topic))
         if (
             message.sender in self._disconnected
             or message.recipient in self._disconnected
@@ -362,6 +378,9 @@ class NetworkSimulator:
             # One stamped envelope serves every recipient; each delivery then
             # opens its own child span under the shared context.
             tracing.on_send(message, self._now)
+        obs = self.obs
+        if obs is not None:
+            obs.sampler.count_message(protocol_group(message.topic), count)
         sender = message.sender
         if sender in self._disconnected:
             self.messages_dropped += count
@@ -461,62 +480,93 @@ class NetworkSimulator:
         budget = self.config.max_events if max_events is None else max_events
         telemetry = self.telemetry
         tracing = self.tracing
+        obs = self.obs
+        sampler = obs.sampler if obs is not None else None
+        profiler = obs.profiler if obs is not None else None
+        if profiler is not None:
+            # The whole loop runs as one ``sim.kernel`` section: dispatch,
+            # timer and ledger children claim their share on the stack, and
+            # the kernel's remaining *self* time is exactly the scheduling
+            # overhead (heap ops, delivery bookkeeping).
+            profiler.enter("sim.kernel")
         processed = 0
-        while self._queue and processed < budget:
-            event = self._queue[0]
-            if event.time > deadline:
-                break
-            heapq.heappop(self._queue)
-            kind = event.kind
-            if kind == _Event.TIMER:
-                # Drop the bookkeeping entry whether the timer fires or was
-                # cancelled — cancelled entries must not outlive their event.
-                self._timers.pop(event.seq, None)
-                if event.cancelled:
-                    continue
-            self._now = max(self._now, event.time)
-            processed += 1
-            self.events_processed += 1
-            self._pending -= 1
-            if (
-                telemetry is not None
-                and self.events_processed % QUEUE_DEPTH_SAMPLE_EVERY == 0
-            ):
-                telemetry.histogram("net.queue_depth").observe(len(self._queue))
-            if kind == _Event.TIMER:
-                assert event.callback is not None
-                if tracing is None:
-                    event.callback()
+        try:
+            while self._queue and processed < budget:
+                event = self._queue[0]
+                if event.time > deadline:
+                    break
+                heapq.heappop(self._queue)
+                kind = event.kind
+                if kind == _Event.TIMER:
+                    # Drop the bookkeeping entry whether the timer fires or was
+                    # cancelled — cancelled entries must not outlive their event.
+                    self._timers.pop(event.seq, None)
+                    if event.cancelled:
+                        continue
+                self._now = max(self._now, event.time)
+                if sampler is not None and self._now >= sampler.next_tick:
+                    sampler.tick(self._now, self.events_processed)
+                processed += 1
+                self.events_processed += 1
+                self._pending -= 1
+                if (
+                    telemetry is not None
+                    and self.events_processed % QUEUE_DEPTH_SAMPLE_EVERY == 0
+                ):
+                    telemetry.histogram("net.queue_depth").observe(len(self._queue))
+                if kind == _Event.TIMER:
+                    assert event.callback is not None
+                    if profiler is not None:
+                        profiler.enter("timer")
+                        try:
+                            if tracing is None:
+                                event.callback()
+                            else:
+                                tracing.fire_timer(
+                                    event.callback,
+                                    event.trace_ctx,
+                                    self._now,
+                                    event.owner,
+                                )
+                        finally:
+                            profiler.exit()
+                    elif tracing is None:
+                        event.callback()
+                    else:
+                        tracing.fire_timer(
+                            event.callback, event.trace_ctx, self._now, event.owner
+                        )
+                elif kind == _Event.BROADCAST:
+                    deliveries = event.deliveries
+                    assert deliveries is not None and event.message is not None
+                    cursor = event.cursor
+                    message = event.message
+                    message.recipient = deliveries[cursor][2]
+                    cursor += 1
+                    if cursor < len(deliveries):
+                        # Re-enter the heap for the next recipient, keeping the
+                        # original sequence number so tie-breaking matches the
+                        # per-recipient event scheme exactly.
+                        event.cursor = cursor
+                        event.time = deliveries[cursor][0]
+                        heapq.heappush(self._queue, event)
+                    self._deliver(message)
                 else:
-                    tracing.fire_timer(
-                        event.callback, event.trace_ctx, self._now, event.owner
-                    )
-            elif kind == _Event.BROADCAST:
-                deliveries = event.deliveries
-                assert deliveries is not None and event.message is not None
-                cursor = event.cursor
-                message = event.message
-                message.recipient = deliveries[cursor][2]
-                cursor += 1
-                if cursor < len(deliveries):
-                    # Re-enter the heap for the next recipient, keeping the
-                    # original sequence number so tie-breaking matches the
-                    # per-recipient event scheme exactly.
-                    event.cursor = cursor
-                    event.time = deliveries[cursor][0]
-                    heapq.heappush(self._queue, event)
-                self._deliver(message)
+                    assert event.message is not None
+                    self._deliver(event.message)
+                if stop_when is not None and stop_when():
+                    break
             else:
-                assert event.message is not None
-                self._deliver(event.message)
-            if stop_when is not None and stop_when():
-                break
-        else:
-            if self._queue and processed >= budget:
-                return SimulationResult(
-                    time=self._now, events=processed, exhausted_budget=True
-                )
-        return SimulationResult(time=self._now, events=processed, exhausted_budget=False)
+                if self._queue and processed >= budget:
+                    return SimulationResult(
+                        time=self._now, events=processed, exhausted_budget=True
+                    )
+            return SimulationResult(
+                time=self._now, events=processed, exhausted_budget=False
+            )
+        finally:
+            if profiler is not None:
+                profiler.exit()
 
     def _deliver(self, message: Message) -> None:
         tracing = self.tracing

@@ -1,0 +1,29 @@
+"""Live observability: streaming series, host-CPU profiling, watch & SLO gates.
+
+The third zero-overhead-when-disabled pillar next to :mod:`repro.telemetry`
+(end-of-run aggregates) and :mod:`repro.tracing` (causal spans): while a run
+*executes*, the obs runtime streams time-series samples into bounded ring
+buffers, attributes host CPU time to topic-prefix/phase buckets, publishes
+per-cell progress to a live sweep watcher and feeds the declarative SLO gates
+that guard whole scenario families in CI.
+
+Everything is observational: the runtime consumes no randomness and schedules
+nothing, so fixed-seed runs are byte-identical with obs on or off.
+"""
+
+from repro.obs.core import ObsRuntime, activate, current, current_profiler
+from repro.obs.gates import SLO, GateCheck, GateReport
+from repro.obs.profiler import HostProfiler
+from repro.obs.series import StreamingSampler
+
+__all__ = [
+    "ObsRuntime",
+    "activate",
+    "current",
+    "current_profiler",
+    "HostProfiler",
+    "StreamingSampler",
+    "SLO",
+    "GateCheck",
+    "GateReport",
+]

@@ -1,0 +1,110 @@
+"""The obs runtime and its activation scope.
+
+Mirrors the telemetry/tracing convention exactly: instrumented code holds
+either a real :class:`ObsRuntime` or ``None`` and guards every hot-path site
+with ``if obs is not None`` — disabled observability is a single pointer
+comparison.  A module-level :class:`~repro.common.context.ActivationScope`
+lets a scenario cell runner activate the runtime without threading it through
+every constructor; ``NetworkSimulator`` defaults its ``obs`` argument to
+:func:`current`.
+
+This module must stay leaf-level (it is imported by the network simulator
+and the ledger's transaction verify path): only :mod:`repro.common.context`
+and the obs siblings, which themselves import nothing above
+:mod:`repro.telemetry.core`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Any, Callable, Dict, Optional
+
+from repro.common.context import ActivationScope
+from repro.obs.profiler import HostProfiler
+from repro.obs.series import (
+    DEFAULT_CADENCE_S,
+    DEFAULT_QUANTILE_WINDOW,
+    DEFAULT_RING_POINTS,
+    StreamingSampler,
+)
+
+
+class ObsRuntime:
+    """One run's live-observability state: sampler + profiler + publisher."""
+
+    __slots__ = ("sampler", "profiler", "publisher", "cell", "_created_ns")
+
+    def __init__(
+        self,
+        sampler: StreamingSampler,
+        profiler: HostProfiler,
+        publisher: Optional[Callable[[Dict[str, Any]], None]] = None,
+        cell: Optional[str] = None,
+    ) -> None:
+        self.sampler = sampler
+        self.profiler = profiler
+        self.publisher = publisher
+        self.cell = cell
+        self._created_ns = perf_counter_ns()
+
+    @classmethod
+    def enabled(
+        cls,
+        cadence_s: float = DEFAULT_CADENCE_S,
+        ring_points: int = DEFAULT_RING_POINTS,
+        quantile_window: int = DEFAULT_QUANTILE_WINDOW,
+        publisher: Optional[Callable[[Dict[str, Any]], None]] = None,
+        cell: Optional[str] = None,
+    ) -> "ObsRuntime":
+        """A fully wired runtime (the only constructor call sites need)."""
+        sampler = StreamingSampler(
+            cadence_s=cadence_s,
+            ring_points=ring_points,
+            quantile_window=quantile_window,
+            publisher=publisher,
+        )
+        return cls(sampler, HostProfiler(), publisher=publisher, cell=cell)
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Forward a progress event to the publisher, if any."""
+        publisher = self.publisher
+        if publisher is not None:
+            publisher(event)
+
+    def wall_ns(self) -> int:
+        """Wall nanoseconds since the runtime was created."""
+        return perf_counter_ns() - self._created_ns
+
+    def snapshot(self, top: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-serialisable snapshot: series + totals + quantiles + profile.
+
+        The profile's attribution denominator is the runtime's own lifetime,
+        so ``attributed_pct`` answers "how much of this cell's host CPU did
+        named buckets account for".
+        """
+        snap = self.sampler.snapshot()
+        snap["cell"] = self.cell
+        snap["profile"] = self.profiler.report(top=top, wall_ns=self.wall_ns())
+        return snap
+
+
+# -- the current runtime -------------------------------------------------------
+
+_SCOPE = ActivationScope("obs")
+
+
+def current() -> Optional[ObsRuntime]:
+    """The active runtime installed by :func:`activate`, or ``None``."""
+    return _SCOPE.current()
+
+
+def activate(runtime: Optional[ObsRuntime]):
+    """Install ``runtime`` for the enclosed block (``None`` shields)."""
+    return _SCOPE.activate(runtime)
+
+
+def current_profiler() -> Optional[HostProfiler]:
+    """The active runtime's profiler, or ``None`` — one call for hot paths
+    (the transaction verify path) that only bracket CPU sections."""
+    runtime = _SCOPE.current()
+    return runtime.profiler if runtime is not None else None

@@ -1,0 +1,280 @@
+"""Live sweep watcher: per-cell progress streamed over a queue.
+
+Workers (or the serial runner) publish small progress dicts — ``cell-start``,
+sampler ``tick`` and ``cell-end`` events — and the parent-side
+:class:`SweepWatcher` folds them into a table of in-flight and finished
+cells, rendered in place on a TTY (ANSI cursor-up redraw) or as periodic
+plain lines otherwise.
+
+Robustness rule: the drain loop *never blocks indefinitely*.  It reads the
+queue with a short timeout and re-checks its stop flag between reads, so a
+worker that dies mid-cell (killed, OOM, crashed) stalls its row at the last
+published tick instead of deadlocking the sweep; the pool's own failure
+handling still surfaces the error.  Publishing uses ``put_nowait`` and
+swallows queue failures — observability must never take down the run it is
+observing.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from time import perf_counter
+from typing import Any, Dict, List, Optional, TextIO
+
+
+class CellProgress:
+    """Latest known state of one sweep cell."""
+
+    __slots__ = (
+        "cell",
+        "key",
+        "status",
+        "sim_time",
+        "max_time",
+        "events",
+        "events_per_sec",
+        "started_wall",
+        "wall_s",
+    )
+
+    def __init__(self, cell: str, key: str) -> None:
+        self.cell = cell
+        self.key = key
+        self.status = "running"
+        self.sim_time = 0.0
+        self.max_time: Optional[float] = None
+        self.events = 0
+        self.events_per_sec = 0.0
+        self.started_wall = perf_counter()
+        self.wall_s: Optional[float] = None
+
+    @property
+    def pct(self) -> Optional[float]:
+        if self.status == "done":
+            return 1.0
+        if self.max_time:
+            return min(self.sim_time / self.max_time, 1.0)
+        return None
+
+    def eta_s(self) -> Optional[float]:
+        pct = self.pct
+        if self.status == "done" or pct is None or pct <= 0.0:
+            return None
+        elapsed = perf_counter() - self.started_wall
+        return elapsed * (1.0 - pct) / pct
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "key": self.key,
+            "status": self.status,
+            "sim_time": self.sim_time,
+            "max_time": self.max_time,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "pct": self.pct,
+            "eta_s": self.eta_s(),
+            "wall_s": self.wall_s,
+        }
+
+
+class SweepWatcher:
+    """Parent-side aggregator and renderer of streamed cell progress."""
+
+    def __init__(
+        self,
+        total_cells: int = 0,
+        out: Optional[TextIO] = None,
+        refresh_s: float = 0.5,
+        poll_s: float = 0.2,
+    ) -> None:
+        self.total_cells = total_cells
+        self.out = out if out is not None else sys.stderr
+        self.refresh_s = refresh_s
+        self.poll_s = poll_s
+        self.cells: Dict[str, CellProgress] = {}
+        self.completed = 0
+        self.cached = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_render = 0.0
+        self._rendered_lines = 0
+        self._isatty = bool(getattr(self.out, "isatty", lambda: False)())
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(self, event: Dict[str, Any]) -> None:
+        """Fold one progress event into the table (thread-safe)."""
+        kind = event.get("kind")
+        key = str(event.get("key", ""))
+        with self._lock:
+            cell = self.cells.get(key)
+            if cell is None:
+                cell = self.cells[key] = CellProgress(
+                    str(event.get("cell", key)), key
+                )
+            if kind == "tick":
+                cell.sim_time = float(event.get("sim_time") or 0.0)
+                if event.get("max_time"):
+                    cell.max_time = float(event["max_time"])
+                cell.events = int(event.get("events") or 0)
+                cell.events_per_sec = float(event.get("events_per_sec") or 0.0)
+            elif kind == "cell-end":
+                if cell.status != "done":
+                    cell.status = "done"
+                    self.completed += 1
+                cell.wall_s = float(event.get("wall_s") or 0.0)
+                if event.get("sim_time"):
+                    cell.sim_time = float(event["sim_time"])
+            elif kind == "cell-start" and event.get("max_time"):
+                cell.max_time = float(event["max_time"])
+        self._maybe_render()
+
+    def note_cached(self, count: int) -> None:
+        """Record cells satisfied from the store (they never stream events)."""
+        with self._lock:
+            self.cached += count
+
+    # -- queue pump ------------------------------------------------------------
+
+    def start(self, queue: Any) -> None:
+        """Drain ``queue`` on a daemon thread until :meth:`finish`."""
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._pump, args=(queue,), name="obs-watch", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self, queue: Any) -> None:
+        import queue as queue_mod
+
+        while True:
+            try:
+                event = queue.get(timeout=self.poll_s)
+            except queue_mod.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            except (OSError, EOFError, ValueError):
+                # Queue torn down underneath us (pool shutdown) — stop quietly.
+                return
+            self.ingest(event)
+
+    def finish(self) -> None:
+        """Stop the pump after one final drain pass and render the end state."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(self.poll_s * 10, 2.0))
+            self._thread = None
+        self.render(force=True)
+
+    # -- rendering -------------------------------------------------------------
+
+    def _maybe_render(self) -> None:
+        now = perf_counter()
+        if now - self._last_render >= self.refresh_s:
+            self.render()
+
+    def render(self, force: bool = False) -> None:
+        now = perf_counter()
+        if not force and now - self._last_render < self.refresh_s:
+            return
+        self._last_render = now
+        with self._lock:
+            lines = self._table_lines()
+        if self._isatty:
+            # In-place redraw: move the cursor up over the previous frame.
+            if self._rendered_lines:
+                self.out.write(f"\x1b[{self._rendered_lines}F\x1b[J")
+            self.out.write("\n".join(lines) + "\n")
+            self._rendered_lines = len(lines)
+        else:
+            self.out.write(lines[0] + "\n")
+            for line in lines[1:]:
+                self.out.write(line + "\n")
+        self.out.flush()
+
+    def _table_lines(self) -> List[str]:
+        done = self.completed + self.cached
+        total = self.total_cells or (len(self.cells) + self.cached)
+        lines = [
+            f"sweep: {done}/{total} cells done"
+            + (f" ({self.cached} cached)" if self.cached else "")
+        ]
+        header = (
+            f"  {'cell':<40} {'%':>6} {'events/s':>10} "
+            f"{'sim-time':>10} {'eta':>8} {'status':<8}"
+        )
+        lines.append(header)
+        for key in sorted(self.cells):
+            cell = self.cells[key]
+            pct = cell.pct
+            pct_text = f"{pct * 100.0:5.1f}%" if pct is not None else "    --"
+            eta = cell.eta_s()
+            eta_text = f"{eta:7.1f}s" if eta is not None else "      --"
+            lines.append(
+                f"  {cell.cell[:40]:<40} {pct_text:>6} "
+                f"{cell.events_per_sec:>10.0f} {cell.sim_time:>9.2f}s "
+                f"{eta_text:>8} {cell.status:<8}"
+            )
+        return lines
+
+    # -- snapshots (the HTTP server reads these) -------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "total_cells": self.total_cells,
+                "completed": self.completed,
+                "cached": self.cached,
+                "cells": [
+                    self.cells[key].to_dict() for key in sorted(self.cells)
+                ],
+            }
+
+    def prometheus_text(self) -> str:
+        """Prometheus text-format gauges of the current sweep state."""
+        state = self.state()
+        lines = [
+            "# TYPE repro_sweep_cells_total gauge",
+            f"repro_sweep_cells_total {state['total_cells']}",
+            "# TYPE repro_sweep_cells_completed gauge",
+            f"repro_sweep_cells_completed {state['completed'] + state['cached']}",
+            "# TYPE repro_cell_progress gauge",
+            "# TYPE repro_cell_events_per_sec gauge",
+            "# TYPE repro_cell_sim_time_seconds gauge",
+        ]
+        for cell in state["cells"]:
+            label = cell["cell"].replace("\\", "\\\\").replace('"', '\\"')
+            pct = cell["pct"] if cell["pct"] is not None else 0.0
+            lines.append(f'repro_cell_progress{{cell="{label}"}} {pct:.6f}')
+            lines.append(
+                f'repro_cell_events_per_sec{{cell="{label}"}} '
+                f"{cell['events_per_sec']:.3f}"
+            )
+            lines.append(
+                f'repro_cell_sim_time_seconds{{cell="{label}"}} '
+                f"{cell['sim_time']:.6f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def queue_publisher(queue: Any, cell: str, key: str):
+    """A worker-side publisher closing over the cell identity.
+
+    Uses ``put_nowait`` and swallows failures: a full or torn-down queue must
+    degrade to lost progress frames, never to a blocked or crashed worker.
+    """
+
+    def publish(event: Dict[str, Any]) -> None:
+        event.setdefault("cell", cell)
+        event["key"] = key
+        try:
+            queue.put_nowait(event)
+        except Exception:
+            pass
+
+    return publish

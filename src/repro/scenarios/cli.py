@@ -16,6 +16,21 @@ instruments every cell (per-protocol message counts, per-phase latency
 histograms, recovery timelines) and ``report`` renders the stored snapshots
 as comparative tables, optionally exporting them as CSV/JSON.
 
+``run``/``sweep`` also drive the live observability plane::
+
+    python -m repro.scenarios sweep fig4 --jobs 4 --watch --serve 9100
+    python -m repro.scenarios run fig4 --obs --profile-out profile.json
+    python -m repro.scenarios report results.jsonl --gate
+
+``--watch`` renders an in-place terminal table of per-cell progress (percent
+complete, events/sec, simulated time, ETA) streamed from the workers;
+``--serve PORT`` additionally exposes the same state as Prometheus text
+(``/metrics``) and JSON (``/state``) on loopback.  ``--obs`` samples
+time-series metrics and host-CPU attribution into the result store;
+``--profile-out`` / ``--series-out`` / ``--series-csv`` export them.
+``report --gate`` evaluates each family's declared SLOs against the stored
+records and exits non-zero on breach.
+
 ``trace`` replays a single cell with causal tracing on::
 
     python -m repro.scenarios trace fig4 --cell 0 --out trace.json
@@ -73,36 +88,129 @@ def _run_families(
     print_rows: bool = False,
     telemetry: bool = False,
     report_telemetry: bool = False,
+    obs: bool = False,
+    watch: bool = False,
+    serve: Optional[int] = None,
+    profile_out: Optional[str] = None,
+    series_out: Optional[str] = None,
+    series_csv: Optional[str] = None,
 ) -> int:
-    for name in families:
-        specs = registry.expand(name, scale)
-        if telemetry:
-            specs = [spec.with_overrides(telemetry=True) for spec in specs]
-        runner = ScenarioRunner(
-            store=store, jobs=jobs, progress=None if quiet else _progress
-        )
-        report = runner.run(specs)
-        print(
-            f"{name}: {len(specs)} cells — {report.cache_hits} cache hits, "
-            f"{report.executed} executed in {report.wall_clock_s:.1f}s wall-clock"
-        )
-        if print_rows:
-            print(format_table(report.rows))
-        if report_telemetry:
-            # `run --telemetry` renders the snapshots inline: without a store
-            # they would otherwise be collected and silently discarded.
-            from repro.telemetry.report import render_report
+    watcher = None
+    server = None
+    if watch or serve is not None:
+        from repro.obs.watch import SweepWatcher
 
-            records = [
-                {
-                    "family": outcome.spec.family,
-                    "spec": outcome.spec.to_dict(),
-                    "telemetry": outcome.telemetry,
-                }
-                for outcome in report.outcomes
-            ]
-            print(render_report(records))
+        watcher = SweepWatcher(out=sys.stderr)
+        if serve is not None:
+            from repro.obs.serve import WatchServer
+
+            server = WatchServer(watcher, port=serve)
+            server.start()
+            print(
+                f"serving sweep state on http://127.0.0.1:{server.port} "
+                "(/metrics, /state)",
+                flush=True,
+            )
+    obs_snapshots: List[dict] = []
+    try:
+        for name in families:
+            specs = registry.expand(name, scale)
+            if telemetry:
+                specs = [spec.with_overrides(telemetry=True) for spec in specs]
+            if obs:
+                specs = [spec.with_overrides(obs=True) for spec in specs]
+            runner = ScenarioRunner(
+                store=store,
+                jobs=jobs,
+                # The watcher owns the terminal; per-cell progress lines would
+                # tear its in-place table.
+                progress=None if quiet or watcher is not None else _progress,
+                watch=watcher,
+            )
+            report = runner.run(specs)
+            print(
+                f"{name}: {len(specs)} cells — {report.cache_hits} cache hits, "
+                f"{report.executed} executed in {report.wall_clock_s:.1f}s wall-clock"
+            )
+            if print_rows:
+                print(format_table(report.rows))
+            obs_snapshots.extend(
+                outcome.obs for outcome in report.outcomes if outcome.obs
+            )
+            if report_telemetry:
+                # `run --telemetry` renders the snapshots inline: without a store
+                # they would otherwise be collected and silently discarded.
+                from repro.telemetry.report import render_report
+
+                records = [
+                    {
+                        "family": outcome.spec.family,
+                        "spec": outcome.spec.to_dict(),
+                        "telemetry": outcome.telemetry,
+                    }
+                    for outcome in report.outcomes
+                ]
+                print(render_report(records))
+    finally:
+        if server is not None:
+            server.stop()
+    _export_obs(obs_snapshots, profile_out, series_out, series_csv, print_rows)
     return 0
+
+
+def _export_obs(
+    snapshots: List[dict],
+    profile_out: Optional[str],
+    series_out: Optional[str],
+    series_csv: Optional[str],
+    render_profiles: bool,
+) -> None:
+    """Render and export the obs snapshots a run/sweep collected."""
+    if not snapshots:
+        return
+    from repro.obs.profiler import render_report as render_profile
+    from repro.obs.series import write_series_csv, write_series_jsonl
+
+    if render_profiles:
+        for snap in snapshots:
+            profile = dict(snap.get("profile") or {})
+            if not profile:
+                continue
+            top = profile.get("buckets", [])[:10]
+            truncated = len(profile.get("buckets", [])) - len(top)
+            profile["buckets"] = top
+            profile["truncated_buckets"] = (
+                profile.get("truncated_buckets", 0) + truncated
+            )
+            print(render_profile(profile, title=f"profile {snap.get('cell')}"))
+    if profile_out:
+        import json
+
+        with open(profile_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                [
+                    {"cell": snap.get("cell"), "profile": snap.get("profile")}
+                    for snap in snapshots
+                ],
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"profile report: {profile_out}")
+    if series_out:
+        points = write_series_jsonl(series_out, snapshots)
+        print(f"time series: {series_out} ({points} points)")
+    if series_csv:
+        points = write_series_csv(series_csv, snapshots)
+        print(f"time series csv: {series_csv} ({points} points)")
+
+
+def _obs_flags(args: argparse.Namespace) -> bool:
+    """--obs, or any flag that needs obs snapshots to produce its artifact."""
+    return bool(
+        args.obs or args.profile_out or args.series_out or args.series_csv
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -116,6 +224,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print_rows=True,
         telemetry=args.telemetry,
         report_telemetry=args.telemetry,
+        obs=_obs_flags(args),
+        watch=args.watch,
+        serve=args.serve,
+        profile_out=args.profile_out,
+        series_out=args.series_out,
+        series_csv=args.series_csv,
     )
 
 
@@ -128,6 +242,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store,
         args.quiet,
         telemetry=args.telemetry,
+        obs=_obs_flags(args),
+        watch=args.watch,
+        serve=args.serve,
+        profile_out=args.profile_out,
+        series_out=args.series_out,
+        series_csv=args.series_csv,
     )
     print(f"results: {store.path} ({len(store)} cells cached)")
     return code
@@ -192,7 +312,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     store = ResultStore(args.store)
     records = store.records(args.family)
-    print(render_report(records, metric_filter=args.metric))
+    if not args.gate:
+        print(render_report(records, metric_filter=args.metric))
     cells = telemetry_cells(records)
     if args.json and cells:
         write_json([snapshot for _, snapshot in cells], args.json)
@@ -205,7 +326,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ]
         write_csv(rows, args.csv)
         print(f"csv: {args.csv}")
+    if args.gate:
+        return _evaluate_gates(records, args.slo or [])
     return 0
+
+
+def _evaluate_gates(records: List[dict], overrides: List[str]) -> int:
+    """Evaluate declared (and overridden) family SLOs; exit 1 on breach."""
+    from repro.obs.gates import (
+        SLO,
+        evaluate_records,
+        parse_slo_overrides,
+        render_gate_report,
+    )
+
+    slos = {
+        family.name: family.slo
+        for family in registry.iter_families()
+        if family.slo is not None
+    }
+    for family_name, metrics in parse_slo_overrides(overrides).items():
+        base = slos.get(family_name, SLO())
+        slos[family_name] = base.merged(metrics)
+    report = evaluate_records(slos, records)
+    print(render_gate_report(report))
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -240,6 +385,47 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="instrument every cell and store telemetry snapshots "
             "(see the `report` subcommand)",
+        )
+        p.add_argument(
+            "--obs",
+            action="store_true",
+            help="instrument every cell with the live observability plane "
+            "(streamed time series, host-CPU profile) and store snapshots",
+        )
+        p.add_argument(
+            "--watch",
+            action="store_true",
+            help="live terminal table of per-cell progress "
+            "(percent, events/sec, sim-time, ETA)",
+        )
+        p.add_argument(
+            "--serve",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="expose watch state over loopback HTTP "
+            "(Prometheus text on /metrics, JSON on /state); implies --watch",
+        )
+        p.add_argument(
+            "--profile-out",
+            default=None,
+            metavar="PATH",
+            help="write per-cell host-CPU attribution reports as JSON "
+            "(implies --obs)",
+        )
+        p.add_argument(
+            "--series-out",
+            default=None,
+            metavar="PATH",
+            help="write sampled time series as JSONL, one point per line "
+            "(implies --obs)",
+        )
+        p.add_argument(
+            "--series-csv",
+            default=None,
+            metavar="PATH",
+            help="write sampled time series as plot-ready long-form CSV "
+            "(implies --obs)",
         )
         p.add_argument(
             "--log-level",
@@ -329,6 +515,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--csv", default=None, help="export flattened metrics as CSV")
     report.add_argument(
         "--json", default=None, help="export the raw snapshots as JSON"
+    )
+    report.add_argument(
+        "--gate",
+        action="store_true",
+        help="evaluate each family's declared SLOs against the stored "
+        "records and exit non-zero on any breach",
+    )
+    report.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="FAMILY:METRIC=VALUE",
+        help="override (or inject) one SLO limit for the gate evaluation; "
+        "repeatable (e.g. fig4-recovery:min_events_per_sec=1e12)",
     )
     report.set_defaults(func=_cmd_report)
     return parser

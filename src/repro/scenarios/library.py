@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List
 
+from repro.obs.gates import SLO
 from repro.scenarios.registry import expand_grid, scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -97,6 +98,8 @@ def _fig3_grid(scale: str) -> List[ScenarioSpec]:
     description="Throughput of ZLB vs Polygraph/HotStuff/Red Belly (phase model)",
     grid=_fig3_grid,
     tags=("paper", "model"),
+    # Analytical model cells — only their host-side cost is gated.
+    slo=SLO(max_host_seconds=30.0),
 )
 def _run_fig3_cell(spec: ScenarioSpec) -> Dict[str, Any]:
     from repro.analysis.throughput import ThroughputModel, available_protocols
@@ -129,6 +132,13 @@ def _fig4_grid(scale: str) -> List[ScenarioSpec]:
     description="Disagreeing decisions per committee size under both attacks",
     grid=_fig4_grid,
     tags=("paper", "attack"),
+    # Generous floors: catch order-of-magnitude regressions (a stalled event
+    # loop, a quadratic merge) without flaking on slow CI runners.
+    slo=SLO(
+        min_events_per_sec=250.0,
+        max_p99_commit_s=120.0,
+        max_host_seconds=120.0,
+    ),
 )
 def _run_fig4_cell(spec: ScenarioSpec) -> Dict[str, Any]:
     return _run_attack_spec(spec)

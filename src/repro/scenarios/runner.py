@@ -23,6 +23,8 @@ import dataclasses
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.obs import core as obs_core
+from repro.obs.watch import SweepWatcher
 from repro.scenarios import registry
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore
@@ -30,6 +32,34 @@ from repro.telemetry import core as telemetry_core
 from repro.tracing import core as tracing_core
 
 ProgressCallback = Callable[["RunOutcome", int, int], None]
+
+#: Where cells publish live progress events: ``None`` (no watcher), the
+#: parent watcher's ``ingest`` (serial runs) or a queue putter installed by
+#: the pool initializer (parallel workers).  Module-level so
+#: ``_execute_cell`` finds it without widening its picklable signature.
+_WATCH_SINK: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+def _init_watch_worker(queue: Any) -> None:
+    """Pool initializer: route this worker's progress events to the queue."""
+    global _WATCH_SINK
+    _WATCH_SINK = queue.put_nowait
+
+
+def _cell_publisher(
+    sink: Callable[[Dict[str, Any]], None], cell: str, key: str
+) -> Callable[[Dict[str, Any]], None]:
+    """Stamp events with the cell identity; never let publishing fail a run."""
+
+    def publish(event: Dict[str, Any]) -> None:
+        event.setdefault("cell", cell)
+        event["key"] = key
+        try:
+            sink(event)
+        except Exception:
+            pass
+
+    return publish
 
 
 @dataclasses.dataclass
@@ -44,6 +74,8 @@ class RunOutcome:
     telemetry: Optional[Dict[str, Any]] = None
     #: Trace summary of the cell (None unless ``spec.tracing``).
     trace: Optional[Dict[str, Any]] = None
+    #: Obs snapshot — series, quantiles, CPU profile (None unless ``spec.obs``).
+    obs: Optional[Dict[str, Any]] = None
 
 
 @dataclasses.dataclass
@@ -63,7 +95,12 @@ class SweepReport:
 def _execute_cell(
     payload: str,
 ) -> Tuple[
-    str, Dict[str, Any], float, Optional[Dict[str, Any]], Optional[Dict[str, Any]]
+    str,
+    Dict[str, Any],
+    float,
+    Optional[Dict[str, Any]],
+    Optional[Dict[str, Any]],
+    Optional[Dict[str, Any]],
 ]:
     """Worker entry point: run one spec from its JSON form.
 
@@ -73,12 +110,25 @@ def _execute_cell(
     runtime) is activated around the cell — every instrumented constructor
     below (simulators, ZLB systems) picks it up — and its snapshot (summary)
     rides along with the row.
+
+    The obs runtime follows the same convention with one twist: it is also
+    activated — without touching the spec or its hash — when a watch sink is
+    installed, because the live watcher needs the sampler's progress ticks.
+    Obs is purely observational (no randomness, no scheduling), so watching a
+    bare cell cannot perturb it; the snapshot is only *persisted* when the
+    spec itself asked for obs.
     """
     spec = ScenarioSpec.from_json(payload)
     start = time.perf_counter()
+    sink = _WATCH_SINK
+    publisher = None
+    if sink is not None:
+        publisher = _cell_publisher(sink, spec.label(), spec.spec_hash)
+        publisher({"kind": "cell-start", "max_time": spec.max_time})
     with contextlib.ExitStack() as stack:
         active = None
         runtime = None
+        obs_runtime = None
         if spec.telemetry:
             active = stack.enter_context(
                 telemetry_core.activate(telemetry_core.TelemetryRegistry())
@@ -87,10 +137,24 @@ def _execute_cell(
             runtime = stack.enter_context(
                 tracing_core.activate(tracing_core.TraceRuntime.enabled())
             )
+        if spec.obs or publisher is not None:
+            obs_runtime = stack.enter_context(
+                obs_core.activate(
+                    obs_core.ObsRuntime.enabled(
+                        publisher=publisher, cell=spec.label()
+                    )
+                )
+            )
         row = registry.run_spec(spec)
+    elapsed = time.perf_counter() - start
     snapshot = active.snapshot() if active is not None else None
     trace = runtime.summary() if runtime is not None else None
-    return spec.spec_hash, row, time.perf_counter() - start, snapshot, trace
+    obs_snap = (
+        obs_runtime.snapshot() if obs_runtime is not None and spec.obs else None
+    )
+    if publisher is not None:
+        publisher({"kind": "cell-end", "wall_s": elapsed})
+    return spec.spec_hash, row, elapsed, snapshot, trace, obs_snap
 
 
 class ScenarioRunner:
@@ -101,12 +165,14 @@ class ScenarioRunner:
         store: Optional[ResultStore] = None,
         jobs: int = 1,
         progress: Optional[ProgressCallback] = None,
+        watch: Optional[SweepWatcher] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.store = store
         self.jobs = jobs
         self.progress = progress
+        self.watch = watch
 
     def run(self, specs: Sequence[ScenarioSpec]) -> SweepReport:
         """Run every spec, serving cached cells from the store when possible."""
@@ -115,6 +181,8 @@ class ScenarioRunner:
         outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
         pending: List[Tuple[int, ScenarioSpec]] = []
         completed = 0
+        if self.watch is not None:
+            self.watch.total_cells = len(specs)
 
         for index, spec in enumerate(specs):
             record = self.store.get(spec) if self.store is not None else None
@@ -126,32 +194,41 @@ class ScenarioRunner:
                     wall_clock_s=0.0,
                     telemetry=record.get("telemetry"),
                     trace=record.get("trace"),
+                    obs=record.get("obs"),
                 )
                 completed += 1
                 self._notify(outcomes[index], completed, len(specs))
             else:
                 pending.append((index, spec))
 
-        if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                results = self._run_serial(pending)
-            else:
-                results = self._run_parallel(pending)
-            # Both strategies yield outcomes as cells complete, so the store
-            # is written incrementally — a killed sweep keeps its finished
-            # cells and resumes from cache.
-            for index, outcome in results:
-                outcomes[index] = outcome
-                if self.store is not None:
-                    self.store.put(
-                        outcome.spec,
-                        outcome.row,
-                        outcome.wall_clock_s,
-                        telemetry=outcome.telemetry,
-                        trace=outcome.trace,
-                    )
-                completed += 1
-                self._notify(outcome, completed, len(specs))
+        if self.watch is not None and completed:
+            self.watch.note_cached(completed)
+
+        try:
+            if pending:
+                if self.jobs == 1 or len(pending) == 1:
+                    results = self._run_serial(pending)
+                else:
+                    results = self._run_parallel(pending)
+                # Both strategies yield outcomes as cells complete, so the
+                # store is written incrementally — a killed sweep keeps its
+                # finished cells and resumes from cache.
+                for index, outcome in results:
+                    outcomes[index] = outcome
+                    if self.store is not None:
+                        self.store.put(
+                            outcome.spec,
+                            outcome.row,
+                            outcome.wall_clock_s,
+                            telemetry=outcome.telemetry,
+                            trace=outcome.trace,
+                            obs=outcome.obs,
+                        )
+                    completed += 1
+                    self._notify(outcome, completed, len(specs))
+        finally:
+            if self.watch is not None:
+                self.watch.finish()
 
         total = time.perf_counter() - started
         done = [outcome for outcome in outcomes if outcome is not None]
@@ -167,16 +244,27 @@ class ScenarioRunner:
     def _run_serial(
         self, pending: Sequence[Tuple[int, ScenarioSpec]]
     ) -> Iterator[Tuple[int, RunOutcome]]:
-        for index, spec in pending:
-            _, row, elapsed, snapshot, trace = _execute_cell(spec.to_json())
-            yield index, RunOutcome(
-                spec=spec,
-                row=row,
-                cached=False,
-                wall_clock_s=elapsed,
-                telemetry=snapshot,
-                trace=trace,
-            )
+        global _WATCH_SINK
+        if self.watch is not None:
+            # In-process cells publish straight into the watcher — no queue.
+            _WATCH_SINK = self.watch.ingest
+        try:
+            for index, spec in pending:
+                _, row, elapsed, snapshot, trace, obs_snap = _execute_cell(
+                    spec.to_json()
+                )
+                yield index, RunOutcome(
+                    spec=spec,
+                    row=row,
+                    cached=False,
+                    wall_clock_s=elapsed,
+                    telemetry=snapshot,
+                    trace=trace,
+                    obs=obs_snap,
+                )
+        finally:
+            if self.watch is not None:
+                _WATCH_SINK = None
 
     def _run_parallel(
         self, pending: Sequence[Tuple[int, ScenarioSpec]]
@@ -197,10 +285,28 @@ class ScenarioRunner:
             context = multiprocessing.get_context("fork")
         except ValueError:
             context = multiprocessing.get_context()
-        with context.Pool(processes=min(self.jobs, len(pending))) as pool:
-            for spec_hash, row, elapsed, snapshot, trace in pool.imap_unordered(
-                _execute_cell, payloads
-            ):
+        initializer = None
+        initargs: Tuple[Any, ...] = ()
+        if self.watch is not None:
+            # Workers stream progress over a queue the watcher drains on its
+            # own thread (timeout-polled, so a dead worker can never wedge it).
+            watch_queue = context.Queue()
+            initializer = _init_watch_worker
+            initargs = (watch_queue,)
+            self.watch.start(watch_queue)
+        with context.Pool(
+            processes=min(self.jobs, len(pending)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            for (
+                spec_hash,
+                row,
+                elapsed,
+                snapshot,
+                trace,
+                obs_snap,
+            ) in pool.imap_unordered(_execute_cell, payloads):
                 index = by_hash[spec_hash].pop(0)
                 yield index, RunOutcome(
                     spec=specs_by_index[index],
@@ -209,6 +315,7 @@ class ScenarioRunner:
                     wall_clock_s=elapsed,
                     telemetry=snapshot,
                     trace=trace,
+                    obs=obs_snap,
                 )
 
     def _notify(self, outcome: RunOutcome, completed: int, total: int) -> None:

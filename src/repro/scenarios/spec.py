@@ -72,6 +72,11 @@ class ScenarioSpec:
             :class:`~repro.tracing.TraceRuntime` (spans, flight recorder,
             invariant monitors); the trace summary is persisted next to the
             result row.  Same hash convention as ``telemetry``.
+        obs: instrument the cell with a live
+            :class:`~repro.obs.ObsRuntime` (streaming sampler, host-CPU
+            profiler); the snapshot — time series, quantiles and the CPU
+            attribution report — is persisted next to the result row and
+            feeds the SLO gates.  Same hash convention as ``telemetry``.
         params: extra family-specific knobs as sorted ``(key, value)`` pairs.
     """
 
@@ -90,6 +95,7 @@ class ScenarioSpec:
     max_time: float = 300.0
     telemetry: bool = False
     tracing: bool = False
+    obs: bool = False
     params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -152,15 +158,17 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form; JSON-serialisable and accepted by :meth:`from_dict`.
 
-        The ``telemetry`` and ``tracing`` flags are only serialised when set,
-        so bare (uninstrumented) cells keep the hashes they had before the
-        flags existed and old result stores stay valid.
+        The ``telemetry``, ``tracing`` and ``obs`` flags are only serialised
+        when set, so bare (uninstrumented) cells keep the hashes they had
+        before the flags existed and old result stores stay valid.
         """
         data = self._base_dict()
         if self.telemetry:
             data["telemetry"] = True
         if self.tracing:
             data["tracing"] = True
+        if self.obs:
+            data["obs"] = True
         return data
 
     def _base_dict(self) -> Dict[str, Any]:
@@ -228,6 +236,8 @@ class ScenarioSpec:
             parts.append("telemetry")
         if self.tracing:
             parts.append("tracing")
+        if self.obs:
+            parts.append("obs")
         return " ".join(parts)
 
 

@@ -96,18 +96,21 @@ class ResultStore:
         wall_clock_s: float = 0.0,
         telemetry: Optional[Dict[str, Any]] = None,
         trace: Optional[Dict[str, Any]] = None,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Append one result record and index it.
 
         ``telemetry`` is the cell's snapshot dict (only present for cells run
         with ``spec.telemetry``); it is stored verbatim so reports can be
         rendered from the JSONL file long after the sweep.  ``trace`` is the
-        cell's trace summary (only for cells run with ``spec.tracing``), same
-        convention.
+        cell's trace summary (only for cells run with ``spec.tracing``) and
+        ``obs`` its live-observability snapshot (time series, quantiles, CPU
+        profile — only for cells run with ``spec.obs``), same convention.
         """
         record = {
             "hash": spec.spec_hash,
             "family": spec.family,
+            "label": spec.label(),
             "spec": spec.to_dict(),
             "row": row,
             "wall_clock_s": round(float(wall_clock_s), 4),
@@ -116,6 +119,8 @@ class ResultStore:
             record["telemetry"] = telemetry
         if trace is not None:
             record["trace"] = trace
+        if obs is not None:
+            record["obs"] = obs
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)

@@ -101,6 +101,9 @@ class BlockchainManager:
         #: Telemetry registry mirrored by the stats counters; attached by the
         #: owning replica at bind time (None = disabled, zero overhead).
         self.telemetry = None
+        #: Obs runtime whose profiler brackets the append/merge/validate hot
+        #: paths; attached by the owning replica at bind time (same contract).
+        self.obs = None
         #: Screening report of the most recent commit (observability).
         self.last_append_report: Optional[AppendReport] = None
 
@@ -138,6 +141,13 @@ class BlockchainManager:
         if not isinstance(payload, list):
             self._reject_proposal()
             return False
+        obs = self.obs
+        if obs is not None:
+            with obs.profiler.section("ledger.validate"):
+                return self._validate_proposal_body(payload)
+        return self._validate_proposal_body(payload)
+
+    def _validate_proposal_body(self, payload: List[Any]) -> bool:
         view = self.record.utxos.overlay()
         for item in payload:
             if not isinstance(item, Transaction):
@@ -178,18 +188,25 @@ class BlockchainManager:
         case duplicates, intra-block conflicts and non-executable
         transactions are dropped and counted.
         """
-        transactions = _flatten_payloads(decision.decided_payloads())
-        report = self.record.filter_for_append(
-            transactions, assume_verified=not decision.unvalidated_slots
-        )
-        self._count_commit_report(report)
-        self.last_append_report = report
-        block = self.record.append_block(
-            report.accepted,
-            proposers=tuple(decision.included_slots()),
-            timestamp=decision.decided_at,
-            validate=False,
-        )
+        obs = self.obs
+        if obs is not None:
+            obs.profiler.enter("ledger.append")
+        try:
+            transactions = _flatten_payloads(decision.decided_payloads())
+            report = self.record.filter_for_append(
+                transactions, assume_verified=not decision.unvalidated_slots
+            )
+            self._count_commit_report(report)
+            self.last_append_report = report
+            block = self.record.append_block(
+                report.accepted,
+                proposers=tuple(decision.included_slots()),
+                timestamp=decision.decided_at,
+                validate=False,
+            )
+        finally:
+            if obs is not None:
+                obs.profiler.exit()
         self.blocks_by_instance[instance] = block
         self.mempool.remove_decided(block.tx_ids())
         self.transactions_committed += len(block.transactions)
@@ -223,19 +240,28 @@ class BlockchainManager:
         the deposit (the coalition's realised gain), phantom inputs are
         rejected outright.
         """
-        transactions = _flatten_payloads(remote_proposals.values())
-        local_block = self.blocks_by_instance.get(instance)
-        # Without a local block for the instance the fork point is unknown:
-        # pass None (merge against current state) rather than the current
-        # height, which view_at would treat as "rewind everything journalled
-        # since the last block" (prior merges, punishments).
-        fork_height = local_block.index - 1 if local_block is not None else None
-        conflicting_block = Block(
-            index=instance + 1,
-            parent_hash="remote-branch",
-            transactions=tuple(transactions),
-        )
-        outcome = self.record.merge_block(conflicting_block, fork_height=fork_height)
+        obs = self.obs
+        if obs is not None:
+            obs.profiler.enter("ledger.merge")
+        try:
+            transactions = _flatten_payloads(remote_proposals.values())
+            local_block = self.blocks_by_instance.get(instance)
+            # Without a local block for the instance the fork point is unknown:
+            # pass None (merge against current state) rather than the current
+            # height, which view_at would treat as "rewind everything journalled
+            # since the last block" (prior merges, punishments).
+            fork_height = local_block.index - 1 if local_block is not None else None
+            conflicting_block = Block(
+                index=instance + 1,
+                parent_hash="remote-branch",
+                transactions=tuple(transactions),
+            )
+            outcome = self.record.merge_block(
+                conflicting_block, fork_height=fork_height
+            )
+        finally:
+            if obs is not None:
+                obs.profiler.exit()
         self.merge_outcomes.append(outcome)
         self.stats.merge_rejected += outcome.rejected_transactions
         self.stats.merge_phantom_inputs += outcome.phantom_inputs

@@ -31,6 +31,9 @@ class ZLBReplica(ASMRReplica):
         standby: bool = False,
     ):
         self.blockchain = blockchain
+        #: Admission sim-times of pending transactions, recorded only while
+        #: the obs plane is active (feeds the time-to-commit sliding series).
+        self._obs_admit: Optional[Dict[str, float]] = None
         super().__init__(
             replica_id=replica_id,
             committee=committee,
@@ -66,8 +69,14 @@ class ZLBReplica(ASMRReplica):
                 pending.set(len(pool))
                 pending_bytes.set(pool.pending_bytes)
 
-            self.blockchain.mempool.gauge_hook = _update
+            self.blockchain.mempool.add_gauge_hook(_update)
             _update(self.blockchain.mempool)
+        obs = self.obs
+        # The manager brackets its append/merge/validate hot paths with
+        # profiler sections once a runtime is attached (None otherwise).
+        self.blockchain.obs = obs
+        if obs is not None:
+            self._obs_admit = {}
 
     # -- ASMR hooks ---------------------------------------------------------------
 
@@ -90,6 +99,14 @@ class ZLBReplica(ASMRReplica):
 
     def _commit(self, instance: int, decision: SBCDecision) -> None:
         block = self.blockchain.commit_decision(instance, decision)
+        admit = self._obs_admit
+        if admit is not None:
+            observe = self.obs.sampler.observe
+            now = self.now
+            for tx in block.transactions:
+                admitted_at = admit.pop(tx.tx_id, None)
+                if admitted_at is not None:
+                    observe("commit_latency_s", now - admitted_at)
         if self.telemetry is not None:
             self.telemetry.counter("zlb.blocks_committed").inc()
             self.telemetry.counter("zlb.transactions_committed").inc(
@@ -150,6 +167,8 @@ class ZLBReplica(ASMRReplica):
     def submit_transaction(self, transaction: Transaction) -> bool:
         """Client entry point: enqueue a payment request at this replica."""
         accepted = self.blockchain.submit_transaction(transaction)
+        if accepted and self._obs_admit is not None:
+            self._obs_admit[transaction.tx_id] = self.now
         tracing = self.tracing
         if accepted and tracing is not None:
             # Opens the per-transaction mempool wait; closed by mempool.batch.
@@ -160,7 +179,16 @@ class ZLBReplica(ASMRReplica):
 
     def submit_transactions(self, transactions) -> int:
         """Enqueue many payment requests; returns how many were accepted."""
-        return self.blockchain.submit_transactions(transactions)
+        admit = self._obs_admit
+        if admit is None:
+            return self.blockchain.submit_transactions(transactions)
+        accepted = 0
+        now = self.now
+        for transaction in transactions:
+            if self.blockchain.submit_transaction(transaction):
+                admit[transaction.tx_id] = now
+                accepted += 1
+        return accepted
 
     # -- observability -------------------------------------------------------------------
 

@@ -31,6 +31,8 @@ from repro.ledger.block import make_genesis_block
 from repro.analysis.metrics import RunMetrics
 from repro.network.delays import DelayModel, PartitionedDelay, delay_model_from_name
 from repro.network.simulator import NetworkSimulator
+from repro.obs import core as obs_core
+from repro.obs.core import ObsRuntime
 from repro.smr.pool import CandidatePool
 from repro.telemetry import core as telemetry_core
 from repro.telemetry.core import TelemetryRegistry
@@ -199,6 +201,7 @@ class ZLBSystem:
         max_time: float = 3_600.0,
         telemetry: Optional[TelemetryRegistry] = None,
         tracing: Optional[TraceRuntime] = None,
+        obs: Optional[ObsRuntime] = None,
     ) -> "ZLBSystem":
         """Build a complete deployment; see the class docstring for the pieces.
 
@@ -214,6 +217,13 @@ class ZLBSystem:
         n = fault_config.n
         telemetry = telemetry if telemetry is not None else telemetry_core.current()
         tracing = tracing if tracing is not None else tracing_core.current()
+        obs = obs if obs is not None else obs_core.current()
+        if obs is not None:
+            # The whole construction — genesis build, key provisioning,
+            # workload signing and submission — runs as one root
+            # ``system.build`` profiler section (crypto.verify children claim
+            # their share); closed right before the system is returned.
+            obs.profiler.enter("system.build")
         protocol_config = protocol_config or ProtocolConfig(
             batch_size=batch_size or 50
         )
@@ -244,6 +254,7 @@ class ZLBSystem:
             config=SimulationConfig(seed=seed, max_time=max_time),
             telemetry=telemetry,
             tracing=tracing,
+            obs=obs,
         )
 
         committee = list(range(n))
@@ -353,6 +364,23 @@ class ZLBSystem:
         )
         if workload_transactions > 0:
             system.submit_workload(workload_transactions)
+        if obs is not None:
+            # Aggregate mempool occupancy across the active committee, pulled
+            # once per sampler tick (standby pools never receive traffic).
+            active = [
+                replica
+                for replica in replicas.values()
+                if not replica.standby
+            ]
+            obs.sampler.register_gauge(
+                "mempool.pending",
+                lambda: sum(len(r.blockchain.mempool) for r in active),
+            )
+            obs.sampler.register_gauge(
+                "mempool.pending_bytes",
+                lambda: sum(r.blockchain.mempool.pending_bytes for r in active),
+            )
+            obs.profiler.exit()
         return system
 
     # -- workload -------------------------------------------------------------------------

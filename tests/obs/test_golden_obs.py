@@ -1,0 +1,74 @@
+"""Observability must be *observational*: fixed-seed runs are byte-identical.
+
+The obs plane promises it consumes no randomness and schedules no events.
+This test drives the same golden Figure 4 cell as
+``tests/experiments/test_fig4_golden.py`` twice — bare, and with a full
+:class:`ObsRuntime` (sampler + profiler) active — and requires the two runs
+to agree on every outcome down to the last float bit of the simulated clock.
+
+It also pins the acceptance property of the profiler on a real cell: at
+least 80% of the cell's host CPU must land in named buckets.
+"""
+
+from repro.experiments.fig4_disagreements import run_attack_cell
+from repro.obs import core as obs_core
+from repro.obs.core import ObsRuntime
+
+#: Golden outcomes of the cell (same constants as the dispatch-parity test).
+GOLDEN = {
+    "disagreements": 2,
+    "committed_transactions": 78,
+    "messages_sent": 11685,
+    "messages_delivered": 11685,
+    "simulated_time": 16.686154595607622,
+}
+
+
+def _run_cell():
+    return run_attack_cell(
+        n=9, attack_kind="binary", cross_partition_delay="1000ms", seed=1
+    )
+
+
+def _outcomes(result):
+    return {
+        "disagreements": result.disagreements,
+        "committed_transactions": result.committed_transactions,
+        "messages_sent": result.messages_sent,
+        "messages_delivered": result.messages_delivered,
+        "simulated_time": result.simulated_time,
+    }
+
+
+def test_golden_cell_is_byte_identical_with_obs_enabled():
+    bare = _run_cell()
+    runtime = ObsRuntime.enabled(cell="golden")
+    with obs_core.activate(runtime):
+        observed = _run_cell()
+
+    assert _outcomes(bare) == GOLDEN
+    assert _outcomes(observed) == GOLDEN
+
+
+def test_golden_cell_profile_attributes_most_host_cpu():
+    runtime = ObsRuntime.enabled(cell="golden")
+    with obs_core.activate(runtime):
+        _run_cell()
+    snap = runtime.snapshot()
+
+    profile = snap["profile"]
+    assert profile["attributed_pct"] >= 0.8
+    buckets = {row["bucket"] for row in profile["buckets"]}
+    # The named hot paths of the run must all show up.
+    assert "sim.kernel" in buckets
+    assert "system.build" in buckets
+    assert "ledger.append" in buckets
+    assert any(name.startswith("dispatch:") for name in buckets)
+
+    # The sampler streamed real series alongside: event rate, per-protocol
+    # message rates and the commit-latency sliding quantiles.
+    series = snap["series"]
+    assert len(series["events_per_sec"]["points"]) > 10
+    assert any(name.startswith("msgs_per_sec:") for name in series)
+    assert snap["quantiles"]["commit_latency_s"]["count"] > 0
+    assert snap["totals"]["events_processed"] > 0

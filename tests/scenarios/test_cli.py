@@ -1,4 +1,6 @@
-"""CLI surface: list / run / sweep."""
+"""CLI surface: list / run / sweep / obs artifacts."""
+
+import json
 
 from repro.scenarios.cli import main
 
@@ -30,3 +32,50 @@ class TestSweep:
         second = capsys.readouterr().out
         assert "fig3: 5 cells — 5 cache hits, 0 executed" in second
         assert "appendix-b: 5 cells — 5 cache hits, 0 executed" in second
+
+
+class TestObsFlags:
+    def test_watch_renders_progress_table(self, capsys):
+        assert main(["run", "appendix-b", "--watch", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "cells done" in err
+
+    def test_obs_artifacts_are_written(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        series = tmp_path / "series.jsonl"
+        series_csv = tmp_path / "series.csv"
+        assert (
+            main(
+                [
+                    "run",
+                    "appendix-b",
+                    "--quiet",
+                    "--profile-out",
+                    str(profile),
+                    "--series-out",
+                    str(series),
+                    "--series-csv",
+                    str(series_csv),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads(profile.read_text())
+        assert len(payload) == 5  # one report per cell
+        assert all("profile" in entry for entry in payload)
+        assert series.exists() and series_csv.exists()
+
+    def test_obs_snapshots_are_stored_and_cached(self, tmp_path, capsys):
+        out_path = str(tmp_path / "results.jsonl")
+        assert main(["run", "appendix-b", "--obs", "--out", out_path, "--quiet"]) == 0
+        capsys.readouterr()
+        with open(out_path) as handle:
+            records = [json.loads(line) for line in handle]
+        assert all("obs" in record for record in records)
+        assert all("profile" in record["obs"] for record in records)
+        # Obs-enabled specs hash differently from bare ones, so the obs run
+        # caches under its own key and a repeat run is served from cache.
+        assert main(["run", "appendix-b", "--obs", "--out", out_path, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "5 cache hits" in out
