@@ -72,7 +72,9 @@ def _strict_comparison(baseline: dict) -> bool:
 
 def test_dispatch_events_per_sec_vs_baseline():
     baseline = _baseline()
-    sizes = (10, 20)
+    # n=50 tracks the scaling work; the baseline predates it, so cells
+    # without a recorded counterpart are reported but not compared.
+    sizes = (10, 20, 50)
     cells = {f"n={n}": _run_cell(n) for n in sizes}
 
     report = {
@@ -86,15 +88,21 @@ def test_dispatch_events_per_sec_vs_baseline():
         "strict": _strict_comparison(baseline),
     }
     for key, cell in cells.items():
-        base = baseline["cells"][key]
-        report["speedup"][key] = round(cell["events_per_sec"] / base["events_per_sec"], 2)
+        base = baseline["cells"].get(key)
+        if base is not None:
+            report["speedup"][key] = round(
+                cell["events_per_sec"] / base["events_per_sec"], 2
+            )
     _ARTIFACT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
     # Parity: the event schedule itself must be unchanged on every machine.
     for key, cell in cells.items():
-        assert cell["events"] == baseline["cells"][key]["events"], (
+        base = baseline["cells"].get(key)
+        if base is None:
+            continue
+        assert cell["events"] == base["events"], (
             f"{key}: processed {cell['events']} events, baseline recorded "
-            f"{baseline['cells'][key]['events']} — broadcast scheduling drifted"
+            f"{base['events']} — broadcast scheduling drifted"
         )
 
     if not report["strict"]:

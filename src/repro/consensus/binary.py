@@ -46,9 +46,19 @@ from repro.network.topic import TopicLike, as_topic
 DecideCallback = Callable[[str, int, Certificate], None]
 
 
+#: The binary domain has two canonical digests; computing them once turns the
+#: per-message digest churn of BVAL/AUX handling into dict probes.
+_VALUE_DIGESTS: Dict[int, str] = {}
+
+
 def value_digest(value: int) -> str:
     """Canonical digest of a binary value used in votes and certificates."""
-    return hash_payload(["binary-value", int(value)])
+    value = int(value)
+    digest = _VALUE_DIGESTS.get(value)
+    if digest is None:
+        digest = hash_payload(["binary-value", value])
+        _VALUE_DIGESTS[value] = digest
+    return digest
 
 
 class BinaryConsensus:
@@ -338,6 +348,4 @@ class BinaryConsensus:
 
 def _digest_to_value(digest: str) -> int:
     """Map a binary-value digest back to 0/1 (digests are from a 2-element set)."""
-    if digest == value_digest(1):
-        return 1
-    return 0
+    return 1 if digest == value_digest(1) else 0

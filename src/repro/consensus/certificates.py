@@ -15,7 +15,32 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import InvalidCertificateError
 from repro.common.types import ReplicaId, quorum_size
-from repro.crypto.signatures import SignedPayload
+from repro.crypto.signatures import SignedPayload, payload_digest
+
+#: Canonical-payload digests of votes, keyed by the vote identity tuple
+#: ``(context, round, kind, value_digest)``.  Recipients rebuild their own
+#: :class:`SignedVote` objects from a shared broadcast body, so a per-object
+#: memo alone would re-encode the same payload once per recipient; the
+#: module-level map makes each distinct vote payload canonicalised exactly
+#: once per process.  Content-addressed, so sharing across runs is safe.
+_VOTE_DIGESTS: Dict[Tuple[str, int, str, str], str] = {}
+
+#: Per-signer signature validity of certificates, keyed by certificate
+#: content (see :meth:`Certificate.cache_key`).  A certificate is re-verified
+#: by every recipient and again by the exclusion consensus against shrinking
+#: committees; with the validity map cached, each re-check is set arithmetic.
+_CERT_VALIDITY: Dict[Tuple[Any, ...], Dict[ReplicaId, bool]] = {}
+
+#: Bound for both memo tables — far above one run's distinct votes, so the
+#: reset only triggers in long-lived sweep workers (where re-computing is
+#: merely a warm-up cost, never a correctness issue).
+_MEMO_MAX = 1 << 20
+
+
+def _clear_memos() -> None:
+    """Drop the module-level memo tables (exposed for tests)."""
+    _VOTE_DIGESTS.clear()
+    _CERT_VALIDITY.clear()
 
 
 class VoteKind(enum.Enum):
@@ -68,6 +93,15 @@ class SignedVote:
         """The payload that was signed."""
         return vote_payload(self.context, self.round, self.kind, self.value_digest)
 
+    def payload_digest(self) -> str:
+        """Canonical digest of :meth:`vote_payload`, memoised process-wide.
+
+        Every recipient of a broadcast vote re-derives the same digest to
+        verify the signature; the memo collapses that to one encoding per
+        distinct vote (see ``_VOTE_DIGESTS``).
+        """
+        return _vote_digest(self.context, self.round, self.kind, self.value_digest)
+
     def conflicts_with(self, other: "SignedVote") -> bool:
         """True when the two votes prove equivocation by the same signer."""
         return (
@@ -79,14 +113,25 @@ class SignedVote:
         )
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
-            "context": self.context,
-            "round": self.round,
-            "kind": self.kind.value,
-            "value_digest": self.value_digest,
-            "signer": self.signer,
-            "signature": self.signature.to_payload(),
-        }
+        """Wire payload of the vote, built once per object.
+
+        ``_send_echo``/``_send_ready`` previously re-built (and canonical
+        encoding re-encoded) this dict for every broadcast fan-out; the memo
+        makes it one construction per vote.  Callers must treat the returned
+        dict as immutable — message bodies already are.
+        """
+        cached = self.__dict__.get("_payload")
+        if cached is None:
+            cached = {
+                "context": self.context,
+                "round": self.round,
+                "kind": self.kind.value,
+                "value_digest": self.value_digest,
+                "signer": self.signer,
+                "signature": self.signature.to_payload(),
+            }
+            object.__setattr__(self, "_payload", cached)
+        return cached
 
 
 def vote_payload(context: Any, round_number: int, kind: VoteKind, value_digest: str) -> Dict[str, Any]:
@@ -101,6 +146,22 @@ def vote_payload(context: Any, round_number: int, kind: VoteKind, value_digest: 
         "kind": kind.value,
         "value_digest": value_digest,
     }
+
+
+def _vote_digest(
+    context: str, round_number: int, kind: VoteKind, value_digest: str
+) -> str:
+    """Memoised canonical digest of a vote payload."""
+    key = (context, round_number, kind.value, value_digest)
+    digest = _VOTE_DIGESTS.get(key)
+    if digest is None:
+        if len(_VOTE_DIGESTS) >= _MEMO_MAX:
+            _VOTE_DIGESTS.clear()
+        digest = payload_digest(
+            vote_payload(context, round_number, kind, value_digest)
+        )
+        _VOTE_DIGESTS[key] = digest
+    return digest
 
 
 def make_vote(
@@ -127,9 +188,17 @@ def verify_vote(vote: SignedVote, verifier: Any) -> bool:
 
     Also rejects votes whose embedded signer does not match the signature's
     signer — a Byzantine replica cannot attribute its vote to someone else.
+
+    Verifiers exposing the digest-first entry point (``verify_digest``) skip
+    re-encoding the vote payload: the memoised canonical digest plus the key
+    registry's verified-signature cache turn the fan-out re-verification of a
+    vote into two dict probes.
     """
     if vote.signature.signer != vote.signer:
         return False
+    verify_digest = getattr(verifier, "verify_digest", None)
+    if verify_digest is not None:
+        return verify_digest(vote.payload_digest(), vote.signature)
     return verifier.verify(vote.vote_payload(), vote.signature)
 
 
@@ -156,16 +225,83 @@ class Certificate:
             "votes": [vote.to_payload() for vote in self.votes],
         }
 
+    def _content_key(self) -> Tuple[Any, ...]:
+        """Content identity of the certificate, memoised on the instance.
+
+        Covers every input of signature verification (the certificate step,
+        each vote's claimed signer and raw signature), so two certificates
+        rebuilt from the same wire payload by different recipients share one
+        cache entry.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = (
+                self.context,
+                self.round,
+                self.kind.value,
+                self.value_digest,
+                tuple(
+                    (
+                        vote.signer,
+                        vote.signature.signer,
+                        vote.signature.payload_hash,
+                        vote.signature.signature,
+                        vote.signature.scheme,
+                    )
+                    for vote in self.votes
+                ),
+            )
+            self._cache_key = key
+        return key
+
+    def _validity_map(self, verifier: Any) -> Dict[ReplicaId, bool]:
+        """Per-signer signature validity, verified once per deployment.
+
+        The map is independent of the committee a later check restricts to —
+        validity is a property of the deployment's PKI, shared by every host
+        of a run — so a certificate that already passed against a superset
+        committee is re-checked against a shrunken one with set arithmetic
+        alone.  Entries are shared across recipients through ``_CERT_VALIDITY``
+        keyed by the verifier's registry token plus the certificate content;
+        verifiers without a token (minimal test doubles) still get the
+        per-instance memo.
+        """
+        token = getattr(verifier, "verification_token", None)
+        cached = self.__dict__.get("_validity")
+        if cached is not None and self.__dict__.get("_validity_token") == token:
+            return cached
+        global_key: Optional[Tuple[Any, ...]] = None
+        validity: Optional[Dict[ReplicaId, bool]] = None
+        if token is not None:
+            global_key = (token,) + self._content_key()
+            validity = _CERT_VALIDITY.get(global_key)
+        if validity is None:
+            validity = {}
+            for vote in self.votes:
+                ok = verify_vote(vote, verifier)
+                previous = validity.get(vote.signer)
+                # A signer appearing twice must have *all* its votes valid —
+                # matching the vote-order scan this map replaces.
+                validity[vote.signer] = ok if previous is None else (previous and ok)
+            if global_key is not None:
+                if len(_CERT_VALIDITY) >= _MEMO_MAX:
+                    _CERT_VALIDITY.clear()
+                _CERT_VALIDITY[global_key] = validity
+        self._validity = validity
+        self._validity_token = token
+        return validity
+
     def verify(self, verifier: Any, committee: Sequence[ReplicaId]) -> None:
         """Check quorum size and every signature against ``committee``.
 
         Raises :class:`InvalidCertificateError` on any failure.  The committee
         argument matters: the exclusion consensus re-checks certificates
-        against a shrinking committee (Alg. 1 lines 31–36).
+        against a shrinking committee (Alg. 1 lines 31–36).  Signature
+        validity is memoised (:meth:`_validity_map`), so those re-checks cost
+        set membership tests, not signature verifications.
         """
         committee_set = set(committee)
         needed = quorum_size(len(committee_set))
-        valid_signers: Set[ReplicaId] = set()
         for vote in self.votes:
             if (
                 vote.context != self.context
@@ -176,17 +312,20 @@ class Certificate:
                 raise InvalidCertificateError(
                     f"certificate for {self.context} mixes unrelated votes"
                 )
-            if vote.signer not in committee_set:
+        validity = self._validity_map(verifier)
+        valid_signers = 0
+        for signer, ok in validity.items():
+            if signer not in committee_set:
                 continue
-            if not verify_vote(vote, verifier):
+            if not ok:
                 raise InvalidCertificateError(
                     f"certificate for {self.context} contains an invalid "
-                    f"signature from {vote.signer}"
+                    f"signature from {signer}"
                 )
-            valid_signers.add(vote.signer)
-        if len(valid_signers) < needed:
+            valid_signers += 1
+        if valid_signers < needed:
             raise InvalidCertificateError(
-                f"certificate for {self.context} has {len(valid_signers)} valid "
+                f"certificate for {self.context} has {valid_signers} valid "
                 f"signers, needs {needed}"
             )
 

@@ -68,6 +68,12 @@ class ProtocolHost:
         """Verify a signed payload against the PKI."""
         raise NotImplementedError
 
+    #: Hosts backed by a :class:`KeyRegistry` additionally expose
+    #: ``verify_digest(digest, signed)`` (digest-first verification through
+    #: the registry's verified-signature cache) and ``verification_token``
+    #: (the registry's cache identity).  Both are optional — callers discover
+    #: them with ``getattr`` so minimal test hosts keep working.
+
     # -- communication -------------------------------------------------------------
 
     def emit(
@@ -143,6 +149,13 @@ class SimpleHost(ProtocolHost):
 
     def verify(self, payload: Any, signed: SignedPayload) -> bool:
         return self._registry.verify(payload, signed)
+
+    def verify_digest(self, digest: str, signed: SignedPayload) -> bool:
+        return self._registry.verify_digest(digest, signed)
+
+    @property
+    def verification_token(self) -> int:
+        return self._registry.verification_token
 
     def emit(
         self,

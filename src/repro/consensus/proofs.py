@@ -15,7 +15,7 @@ conflicting certificates are fed to :func:`extract_pofs_from_votes`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Container, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.types import ReplicaId
 from repro.consensus.certificates import (
@@ -65,6 +65,34 @@ class ProofOfFraud:
         )
 
 
+#: Grouping key of a vote: one entry per (signer, context, round, kind).
+VoteGroupKey = Tuple[ReplicaId, str, int, str]
+
+#: Votes grouped for equivocation checks: key -> first vote seen per digest.
+GroupedVotes = Dict[VoteGroupKey, Dict[str, SignedVote]]
+
+
+def group_votes(votes: Iterable[SignedVote]) -> GroupedVotes:
+    """Group ``votes`` by (signer, context, round, kind), first per digest.
+
+    The insertion order of both levels matches the vote order, which
+    :func:`extract_pofs_from_grouped` relies on to pick the same PoF votes
+    as the flat :func:`extract_pofs_from_votes` scan.
+    """
+    grouped: GroupedVotes = {}
+    for vote in votes:
+        key = (vote.signer, vote.context, vote.round, vote.kind.value)
+        grouped.setdefault(key, {}).setdefault(vote.value_digest, vote)
+    return grouped
+
+
+def _pof_from_group(signer: ReplicaId, by_value: Dict[str, SignedVote]) -> ProofOfFraud:
+    values = sorted(by_value)
+    return ProofOfFraud(
+        culprit=signer, first=by_value[values[0]], second=by_value[values[1]]
+    )
+
+
 def extract_pofs_from_votes(votes: Iterable[SignedVote]) -> List[ProofOfFraud]:
     """Cross-check votes and return one PoF per equivocating replica.
 
@@ -72,19 +100,53 @@ def extract_pofs_from_votes(votes: Iterable[SignedVote]) -> List[ProofOfFraud]:
     two distinct value digests yields a PoF.  At most one PoF per culprit is
     returned (the paper only needs to identify the replica once).
     """
-    grouped: Dict[Tuple[ReplicaId, str, int, str], Dict[str, SignedVote]] = {}
-    for vote in votes:
-        key = (vote.signer, vote.context, vote.round, vote.kind.value)
-        grouped.setdefault(key, {}).setdefault(vote.value_digest, vote)
     pofs: Dict[ReplicaId, ProofOfFraud] = {}
-    for (signer, _, _, _), by_value in grouped.items():
+    for (signer, _, _, _), by_value in group_votes(votes).items():
         if signer in pofs:
             continue
         if len(by_value) >= 2:
-            values = sorted(by_value)
-            pofs[signer] = ProofOfFraud(
-                culprit=signer, first=by_value[values[0]], second=by_value[values[1]]
-            )
+            pofs[signer] = _pof_from_group(signer, by_value)
+    return [pofs[culprit] for culprit in sorted(pofs)]
+
+
+def extract_pofs_from_grouped(
+    first: GroupedVotes,
+    second: GroupedVotes,
+    skip: Container[ReplicaId] = frozenset(),
+) -> List[ProofOfFraud]:
+    """:func:`extract_pofs_from_votes` over two pre-grouped vote sets.
+
+    Equivalent to the flat scan over the concatenation *first votes then
+    second votes* — group order (first's keys in order, then second-only
+    keys) and per-digest vote selection (first's vote wins a digest seen in
+    both) reproduce the setdefault semantics exactly.  The hot CONFIRM path
+    uses this to group each side once (the local justification per decision,
+    the remote certificates per broadcast body) instead of re-grouping their
+    concatenation for every recipient.
+
+    ``skip`` drops culprits that already have a PoF (per-signer selection is
+    independent, so this cannot change which *new* culprits are found).
+    """
+    pofs: Dict[ReplicaId, ProofOfFraud] = {}
+    for key, by_value in first.items():
+        signer = key[0]
+        if signer in skip or signer in pofs:
+            continue
+        extra = second.get(key)
+        if extra:
+            merged = dict(by_value)
+            for digest, vote in extra.items():
+                merged.setdefault(digest, vote)
+        else:
+            merged = by_value
+        if len(merged) >= 2:
+            pofs[signer] = _pof_from_group(signer, merged)
+    for key, by_value in second.items():
+        signer = key[0]
+        if signer in skip or signer in pofs or key in first:
+            continue
+        if len(by_value) >= 2:
+            pofs[signer] = _pof_from_group(signer, by_value)
     return [pofs[culprit] for culprit in sorted(pofs)]
 
 

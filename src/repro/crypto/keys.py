@@ -8,7 +8,8 @@ certificates and proofs of fraud are validated by calling
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+import itertools
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.common.errors import InvalidSignatureError
 from repro.common.types import ReplicaId
@@ -17,8 +18,20 @@ from repro.crypto.signatures import (
     SignedPayload,
     Signer,
     SimulatedSigner,
+    payload_digest,
     scheme_for,
 )
+
+#: Safety valve for the verified-signature cache: a long-lived process running
+#: many simulations back to back must not accumulate entries without bound.
+#: One run's distinct votes fit comfortably; past the cap the cache resets and
+#: simply re-verifies (correctness never depends on a hit).
+_VERIFIED_CACHE_MAX = 1 << 20
+
+#: Process-unique registry tokens: caches living outside the registry (e.g.
+#: certificate validity maps) key their entries by this token so verdicts
+#: from one deployment's PKI can never leak into another's.
+_REGISTRY_TOKENS = itertools.count(1)
 
 
 class KeyRegistry:
@@ -31,9 +44,29 @@ class KeyRegistry:
     def __init__(self) -> None:
         self._public: Dict[ReplicaId, Any] = {}
         self._schemes: Dict[ReplicaId, str] = {}
+        #: Verified-signature cache: ``(signer, payload_hash, signature,
+        #: scheme) -> bool``.  The key covers every input of the cryptographic
+        #: check, so each distinct signature is verified exactly once per
+        #: deployment — re-checks (certificates re-validated against shrinking
+        #: committees, catch-up blocks, every recipient of a broadcast vote)
+        #: become one dict probe.  Tampering any component of the signature
+        #: changes the key and therefore misses the cache; tampering the
+        #: *payload* is caught by the digest comparison done before the cache
+        #: is ever consulted.
+        self._verified: Dict[Tuple[ReplicaId, str, bytes, str], bool] = {}
+        #: Unique identity of this registry for external verification caches.
+        self.verification_token: int = next(_REGISTRY_TOKENS)
 
     def register(self, replica: ReplicaId, scheme: str, public_material: Any) -> None:
         """Register (or overwrite) the public material of ``replica``."""
+        if replica in self._public:
+            # Overwriting a key changes what verifies: drop the replica's
+            # cached verdicts and retire the token so external caches keyed
+            # by it go stale too (rare — provisioning and inclusion only).
+            self._verified = {
+                key: ok for key, ok in self._verified.items() if key[0] != replica
+            }
+            self.verification_token = next(_REGISTRY_TOKENS)
         self._public[replica] = public_material
         self._schemes[replica] = scheme
 
@@ -56,13 +89,35 @@ class KeyRegistry:
         raising: a Byzantine replica may claim an arbitrary identity, and the
         protocol treats such messages as invalid, not as crashes.
         """
+        return self.verify_digest(payload_digest(payload), signed)
+
+    def verify_digest(self, digest: str, signed: SignedPayload) -> bool:
+        """Verify ``signed`` against a precomputed canonical payload digest.
+
+        The digest-to-payload binding is the caller's statement ("this is the
+        canonical digest of the payload I received"); this method checks that
+        the digest matches the one the signer committed to and that the
+        signature over it is genuine.  The cryptographic check is memoised in
+        the verified-signature cache — every re-verification of the same
+        ``(signer, digest, signature, scheme)`` tuple is a dict probe.
+        """
+        if digest != signed.payload_hash:
+            return False
+        key = (signed.signer, signed.payload_hash, signed.signature, signed.scheme)
+        cached = self._verified.get(key)
+        if cached is not None:
+            return cached
         material = self._public.get(signed.signer)
         if material is None:
             return False
         if self._schemes.get(signed.signer) != signed.scheme:
             return False
         scheme = scheme_for(signed.scheme)
-        return scheme.verify(payload, signed, material)
+        ok = scheme.verify_digest(digest, signed, material)
+        if len(self._verified) >= _VERIFIED_CACHE_MAX:
+            self._verified.clear()
+        self._verified[key] = ok
+        return ok
 
     def require_valid(self, payload: Any, signed: SignedPayload) -> None:
         """Raise :class:`InvalidSignatureError` when verification fails."""

@@ -73,6 +73,23 @@ class SignatureScheme:
 
     def verify(self, payload: Any, signed: SignedPayload, public_material: Any) -> bool:
         """Return True when ``signed`` is a valid signature on ``payload``."""
+        if self.scheme_name != signed.scheme:
+            return False
+        if payload_digest(payload) != signed.payload_hash:
+            return False
+        return self.verify_digest(signed.payload_hash, signed, public_material)
+
+    def verify_digest(
+        self, digest: str, signed: SignedPayload, public_material: Any
+    ) -> bool:
+        """Return True when ``signed`` validly signs the given payload digest.
+
+        Callers that already hold the payload's canonical digest (memoised
+        votes, the key registry's verified-signature cache) use this entry
+        point to skip re-encoding the payload; the caller is responsible for
+        checking ``digest == signed.payload_hash`` binds the digest to the
+        payload it claims to sign.
+        """
         raise NotImplementedError
 
 
@@ -109,11 +126,10 @@ class EcdsaScheme(SignatureScheme):
 
     scheme_name = "ecdsa-secp256k1"
 
-    def verify(self, payload: Any, signed: SignedPayload, public_material: Any) -> bool:
+    def verify_digest(
+        self, digest: str, signed: SignedPayload, public_material: Any
+    ) -> bool:
         if signed.scheme != self.scheme_name:
-            return False
-        digest = payload_digest(payload)
-        if digest != signed.payload_hash:
             return False
         try:
             signature = EcdsaSignature.decode(signed.signature)
@@ -164,11 +180,10 @@ class SimulatedScheme(SignatureScheme):
 
     scheme_name = "simulated-hmac"
 
-    def verify(self, payload: Any, signed: SignedPayload, public_material: Any) -> bool:
+    def verify_digest(
+        self, digest: str, signed: SignedPayload, public_material: Any
+    ) -> bool:
         if signed.scheme != self.scheme_name:
-            return False
-        digest = payload_digest(payload)
-        if digest != signed.payload_hash:
             return False
         secret = hashlib.sha256(
             public_material + b":" + str(signed.signer).encode("ascii")

@@ -26,6 +26,7 @@ def run_attack_cell(
     seed: int = 1,
     instances: int = 2,
     max_time: float = 300.0,
+    max_events: Optional[int] = None,
     benign: int = 0,
     deceitful: Optional[int] = None,
     delay: str = "aws",
@@ -57,6 +58,7 @@ def run_attack_cell(
         ),
         batch_size=batch_size,
         max_time=max_time,
+        max_events=max_events,
         telemetry=telemetry,
     )
     return system.run_instances(instances, until=max_time)

@@ -128,14 +128,24 @@ def run_catchup_timing(
 
         quorum = votes_per_certificate or (2 * n // 3 + 1)
         hosts = [_Host(i) for i in range(n)]
-        certificate = Certificate.from_votes(
-            make_vote(hosts[i], "catchup:block", 0, VoteKind.AUX, "digest")
-            for i in range(quorum)
-        )
         verifier = hosts[0]
         for blocks in block_counts:
+            # One distinct certificate per block, built outside the timed
+            # section: a real catch-up verifies a *different* certificate for
+            # every block, so the timing must not collapse into the
+            # verified-signature / certificate-validity caches (which would
+            # measure dict probes, not signature checks).
+            certificates = [
+                Certificate.from_votes(
+                    make_vote(
+                        hosts[i], f"catchup:block:{blocks}:{b}", 0, VoteKind.AUX, "digest"
+                    )
+                    for i in range(quorum)
+                )
+                for b in range(blocks)
+            ]
             start = time.perf_counter()
-            for _ in range(blocks):
+            for certificate in certificates:
                 certificate.verify(verifier, committee=range(n))
             elapsed = time.perf_counter() - start
             rows.append(

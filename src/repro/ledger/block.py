@@ -47,13 +47,27 @@ class Block:
 
     @property
     def merkle_root(self) -> str:
-        """Merkle root over the transaction ids."""
-        return merkle_root([tx.tx_id for tx in self.transactions])
+        """Merkle root over the transaction ids (computed once per block).
+
+        Blocks are content-immutable after construction — ``transactions`` is
+        a tuple and no caller mutates a decided block — so the root is cached
+        in the instance dict, keeping repeated header serialisation and
+        cross-replica conflict checks off the hashing path.
+        """
+        cached = self.__dict__.get("_merkle_root")
+        if cached is None:
+            cached = merkle_root([tx.tx_id for tx in self.transactions])
+            self.__dict__["_merkle_root"] = cached
+        return cached
 
     @property
     def block_hash(self) -> str:
-        """Content-derived block identifier."""
-        return hash_payload(self.header_payload())
+        """Content-derived block identifier (computed once per block)."""
+        cached = self.__dict__.get("_block_hash")
+        if cached is None:
+            cached = hash_payload(self.header_payload())
+            self.__dict__["_block_hash"] = cached
+        return cached
 
     def to_payload(self) -> Dict[str, object]:
         return self.header_payload()

@@ -19,7 +19,7 @@ communicate normally with every partition.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import ReplicaId
@@ -71,6 +71,22 @@ class DelayModel:
         """Return the delay, in seconds, of a message ``sender -> recipient``."""
         raise NotImplementedError
 
+    def sample_many(
+        self, sender: ReplicaId, targets: Sequence[ReplicaId], rng: random.Random
+    ) -> List[float]:
+        """Sample one delay per target, in target order.
+
+        The contract is **bit-identity** with the scalar path: the returned
+        list must equal ``[self.sample(sender, t, rng) for t in targets]``
+        including RNG consumption order, so seeded runs are byte-identical
+        whether the kernel batches or not.  Subclasses override this to hoist
+        per-call lookups out of the fan-out loop; composite models (loss,
+        partitions) keep the base implementation because their per-target
+        branching *is* the RNG order.
+        """
+        sample = self.sample
+        return [sample(sender, target, rng) for target in targets]
+
     def mean_delay(self) -> float:
         """Return the (approximate) mean one-way delay of the model in seconds.
 
@@ -90,6 +106,12 @@ class ConstantDelay(DelayModel):
 
     def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
         return self.delay
+
+    def sample_many(
+        self, sender: ReplicaId, targets: Sequence[ReplicaId], rng: random.Random
+    ) -> List[float]:
+        # No randomness consumed, so a repeated constant is trivially identical.
+        return [self.delay] * len(targets)
 
     def mean_delay(self) -> float:
         return self.delay
@@ -118,6 +140,14 @@ class UniformDelay(DelayModel):
     def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
+    def sample_many(
+        self, sender: ReplicaId, targets: Sequence[ReplicaId], rng: random.Random
+    ) -> List[float]:
+        uniform = rng.uniform
+        low = self.low
+        high = self.high
+        return [uniform(low, high) for _ in targets]
+
     def mean_delay(self) -> float:
         return (self.low + self.high) / 2
 
@@ -140,6 +170,14 @@ class GammaDelay(DelayModel):
     def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
         return rng.gammavariate(self.shape, self.scale)
 
+    def sample_many(
+        self, sender: ReplicaId, targets: Sequence[ReplicaId], rng: random.Random
+    ) -> List[float]:
+        gammavariate = rng.gammavariate
+        shape = self.shape
+        scale = self.scale
+        return [gammavariate(shape, scale) for _ in targets]
+
     def mean_delay(self) -> float:
         return self._mean
 
@@ -160,14 +198,39 @@ class AwsRegionDelay(DelayModel):
         for region in self.regions:
             if region not in AWS_REGIONS:
                 raise ConfigurationError(f"unknown AWS region {region!r}")
+        #: Base latency table indexed by region position: replica ``r`` lives
+        #: in region ``r % len(regions)``, so every (sender, recipient) pair
+        #: reduces to two modulos and two list indexes instead of string-keyed
+        #: dict probes in the fan-out hot path.
+        self._region_count = len(self.regions)
+        self._pair_latency: List[List[float]] = [
+            [_aws_latency(region_a, region_b) for region_b in self.regions]
+            for region_a in self.regions
+        ]
 
     def region_of(self, replica: ReplicaId) -> str:
         return self.regions[replica % len(self.regions)]
 
     def sample(self, sender: ReplicaId, recipient: ReplicaId, rng: random.Random) -> float:
-        base = _aws_latency(self.region_of(sender), self.region_of(recipient))
+        count = self._region_count
+        base = self._pair_latency[sender % count][recipient % count]
         jitter = rng.uniform(-self.jitter_fraction, self.jitter_fraction) * base
         return max(0.0005, base + jitter)
+
+    def sample_many(
+        self, sender: ReplicaId, targets: Sequence[ReplicaId], rng: random.Random
+    ) -> List[float]:
+        count = self._region_count
+        row = self._pair_latency[sender % count]
+        uniform = rng.uniform
+        jitter_fraction = self.jitter_fraction
+        delays: List[float] = []
+        append = delays.append
+        for target in targets:
+            base = row[target % count]
+            delay = base + uniform(-jitter_fraction, jitter_fraction) * base
+            append(delay if delay > 0.0005 else 0.0005)
+        return delays
 
     def mean_delay(self) -> float:
         total = 0.0

@@ -64,6 +64,9 @@ def _run_attack_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         seed=spec.seed,
         instances=spec.instances,
         max_time=spec.max_time,
+        # The scale family raises the livelock guard: n=100 cells need more
+        # than the default 5M events to resolve the attack and recover.
+        max_events=spec.param("max_events"),
         benign=spec.benign,
         deceitful=spec.deceitful,
         delay=spec.delay,
@@ -552,3 +555,8 @@ def _run_jitter_stress_cell(spec: ScenarioSpec) -> Dict[str, Any]:
         }
     )
     return row
+
+
+# The scale family (hundreds-of-replicas cells) lives in its own module; the
+# import registers it alongside the built-ins above.
+from repro.scenarios import scale as _scale  # noqa: E402,F401  (registers on import)

@@ -1,0 +1,140 @@
+"""The ``scale`` scenario family: committees of hundreds of replicas.
+
+The paper's sweeps stop at ``n = 100``; this family exists to exercise (and
+keep exercising, via the ``scale-bench`` CI job) the kernel optimisations that
+make three-digit committees practical in a single Python process: the
+verified-signature and certificate-validity caches, memoised vote payloads,
+batched delay sampling and coalesced same-broadcast delivery.
+
+Two kinds of cells share the family, told apart by the ``mode`` param:
+
+* ``model`` — the fig3 analytic throughput model evaluated at ``n`` in
+  100–300.  Closed-form, so even the largest committee costs milliseconds;
+  these cells pin the model's behaviour where the paper's plots end.
+* ``attack`` — a full simulated coalition-attack cell (the fig4 construction:
+  ``d = ceil(5n/9) - 1`` deceitful replicas, partitioned honest replicas,
+  real client workload) at ``n = 100``.  These are the heavyweight cells the
+  scale benchmark budgets.
+
+Independent cells run in parallel through the scenario runner's process pool
+when ``REPRO_SCALE_JOBS`` is set (see :func:`run_scale_cells`): simulated
+instances are single-threaded by design (determinism), so the parallelism
+lives at the sweep-cell boundary, one seeded simulation per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.gates import SLO
+from repro.scenarios.registry import scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Committee sizes of the analytic cells — where the paper's figure 3 ends
+#: and beyond.
+MODEL_SIZES = (100, 200, 300)
+
+#: Committee size of the simulated attack cells.  One hundred replicas is the
+#: paper's largest plotted committee and the acceptance point of the scale
+#: work: both attack kinds must complete in minutes on a laptop-class host.
+ATTACK_SIZE = 100
+
+#: Event budget of one attack cell.  The simulator's default livelock guard
+#: (5M events) is sized for small committees; an n=100 cell legitimately
+#: processes ~10M events, so the family raises the guard with headroom.
+ATTACK_MAX_EVENTS = 50_000_000
+
+
+def _scale_grid(scale: str) -> List[ScenarioSpec]:
+    specs = [
+        ScenarioSpec(
+            family="scale",
+            n=n,
+            seed=0,
+            params={"mode": "model"},
+        )
+        for n in MODEL_SIZES
+    ]
+    attacks = ("binary", "rbbcast") if scale == "full" else ("binary",)
+    for attack in attacks:
+        specs.append(
+            ScenarioSpec(
+                family="scale",
+                n=ATTACK_SIZE,
+                attack=attack,
+                cross_partition_delay="1000ms",
+                delay="aws",
+                workload_transactions=12 * ATTACK_SIZE,
+                batch_size=10,
+                # One SBC instance: message volume grows ~n^3, so a single
+                # instance keeps the n=100 cell in minutes while still
+                # landing the attack and driving the full recovery.
+                instances=1,
+                seed=1,
+                max_time=300.0,
+                # Raise the livelock guard: an n=100 attack cell legitimately
+                # processes ~10M events before the membership change settles.
+                params={"mode": "attack", "max_events": ATTACK_MAX_EVENTS},
+            )
+        )
+    return specs
+
+
+@scenario(
+    "scale",
+    description="Hundreds-of-replicas cells: analytic model + n=100 attacks",
+    grid=_scale_grid,
+    tags=("extra", "scale", "perf"),
+    # The wall-clock budget of the family: an n=100 attack cell must stay in
+    # minutes of host CPU, and the event loop must not collapse under the
+    # larger fan-out.
+    slo=SLO(min_events_per_sec=500.0, max_host_seconds=900.0),
+)
+def _run_scale_cell(spec: ScenarioSpec) -> Dict[str, Any]:
+    mode = spec.param("mode", "model")
+    if mode == "model":
+        from repro.analysis.throughput import ThroughputModel, available_protocols
+        from repro.network.delays import AwsRegionDelay
+
+        model = ThroughputModel(AwsRegionDelay())
+        row: Dict[str, Any] = {"n": spec.n, "mode": mode}
+        for protocol in available_protocols():
+            row[protocol] = round(model.throughput(protocol, spec.n), 1)
+        return row
+    from repro.scenarios.library import _run_attack_spec
+
+    row = _run_attack_spec(spec)
+    row["mode"] = mode
+    return row
+
+
+def scale_jobs(default: int = 1) -> int:
+    """Worker count for scale sweeps, from the ``REPRO_SCALE_JOBS`` flag.
+
+    Defaults to serial execution: parallel cells trade determinism of *wall
+    clock* (never of results — each cell is its own seeded simulation) for
+    throughput, so the flag is opt-in.
+    """
+    value = os.environ.get("REPRO_SCALE_JOBS", "").strip()
+    if not value:
+        return default
+    jobs = int(value)
+    if jobs < 1:
+        raise ValueError(f"REPRO_SCALE_JOBS must be >= 1, got {value!r}")
+    return jobs
+
+
+def run_scale_cells(
+    specs: Sequence[ScenarioSpec], jobs: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Run scale cells, fanning out across processes when jobs > 1.
+
+    A thin wrapper over :class:`~repro.scenarios.runner.ScenarioRunner` (no
+    store: benchmark cells must re-run, never serve from cache) that the
+    scale benchmark and ad-hoc sweeps share.
+    """
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(store=None, jobs=jobs if jobs is not None else scale_jobs())
+    return runner.run(list(specs)).rows

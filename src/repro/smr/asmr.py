@@ -28,8 +28,10 @@ from repro.common.config import ProtocolConfig
 from repro.common.types import FaultKind, ReplicaId, recovery_threshold
 from repro.consensus.certificates import Certificate, certificate_from_payload
 from repro.consensus.proofs import (
+    GroupedVotes,
     ProofOfFraud,
-    extract_pofs_from_votes,
+    extract_pofs_from_grouped,
+    group_votes,
     merge_pofs,
 )
 from repro.consensus.sbc import SBCDecision, SetByzantineConsensus
@@ -45,6 +47,70 @@ from repro.smr.replica import BaseReplica
 #: Default assumed deceitful ratio used to size the confirmation quorum
 #: (the paper requires messages from more than (delta + 1/3) * n replicas).
 DEFAULT_CONFIRMATION_DELTA = 5.0 / 9.0
+
+#: Bounded identity-keyed memos for the CONFIRM disagreement path.  CONFIRM
+#: bodies cross the simulated wire *by reference*: every recipient dispatches
+#: the same dict object, so parsing the carried certificates and hashing the
+#: carried proposals once per broadcast (instead of once per recipient)
+#: changes nothing but the host clock.  Entries pin the keyed object itself,
+#: which keeps its ``id()`` stable for the lifetime of the cache entry;
+#: clear-on-cap bounds memory on arbitrarily long runs.
+_MEMO_MAX = 1 << 14
+_CONFIRM_GROUPED: Dict[int, Tuple[Any, GroupedVotes]] = {}
+_LOCAL_GROUPED: Dict[int, Tuple[Any, GroupedVotes]] = {}
+_PROPOSAL_DIGESTS: Dict[int, Tuple[Any, str]] = {}
+
+
+def _confirm_grouped_votes(body: Dict[str, Any]) -> GroupedVotes:
+    """Votes carried by a CONFIRM body's certificates, parsed+grouped once."""
+    key = id(body)
+    hit = _CONFIRM_GROUPED.get(key)
+    if hit is not None and hit[0] is body:
+        return hit[1]
+    votes: List[Any] = []
+    for payload in list(body.get("binary_certificates", {}).values()) + list(
+        body.get("rbc_certificates", {}).values()
+    ):
+        try:
+            certificate = certificate_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+        votes.extend(certificate.votes)
+    if len(_CONFIRM_GROUPED) >= _MEMO_MAX:
+        _CONFIRM_GROUPED.clear()
+    grouped = group_votes(votes)
+    _CONFIRM_GROUPED[key] = (body, grouped)
+    return grouped
+
+
+def _decision_grouped_votes(decision: Any) -> GroupedVotes:
+    """The decision's justification votes grouped once per decision object."""
+    key = id(decision)
+    hit = _LOCAL_GROUPED.get(key)
+    if hit is not None and hit[0] is decision:
+        return hit[1]
+    if len(_LOCAL_GROUPED) >= _MEMO_MAX:
+        _LOCAL_GROUPED.clear()
+    grouped = group_votes(decision.justification_votes)
+    _LOCAL_GROUPED[key] = (decision, grouped)
+    return grouped
+
+
+def _proposal_digest(value: Any) -> str:
+    """``hash_payload(value)`` memoised by object identity.
+
+    Proposal payloads are immutable once broadcast and shared by reference
+    between the local decision record and every CONFIRM that carries them.
+    """
+    key = id(value)
+    hit = _PROPOSAL_DIGESTS.get(key)
+    if hit is not None and hit[0] is value:
+        return hit[1]
+    digest = hash_payload(value)
+    if len(_PROPOSAL_DIGESTS) >= _MEMO_MAX:
+        _PROPOSAL_DIGESTS.clear()
+    _PROPOSAL_DIGESTS[key] = (value, digest)
+    return digest
 
 
 @dataclasses.dataclass
@@ -354,8 +420,8 @@ class ASMRReplica(BaseReplica):
                 record.disagreeing_slots.add(slot)
                 continue
             if local_bit == 1 and remote_bit == 1:
-                local_digest = hash_payload(local.proposals.get(slot))
-                remote_digest = hash_payload(remote_proposals.get(slot))
+                local_digest = _proposal_digest(local.proposals.get(slot))
+                remote_digest = _proposal_digest(remote_proposals.get(slot))
                 if local_digest != remote_digest:
                     record.disagreeing_slots.add(slot)
 
@@ -373,16 +439,15 @@ class ASMRReplica(BaseReplica):
     def _extract_pofs_from_confirm(self, record: InstanceRecord, body: Dict[str, Any]) -> None:
         local = record.decision
         assert local is not None
-        votes = list(local.justification_votes)
-        for payload in list(body.get("binary_certificates", {}).values()) + list(
-            body.get("rbc_certificates", {}).values()
-        ):
-            try:
-                certificate = certificate_from_payload(payload)
-            except (KeyError, TypeError, ValueError):
-                continue
-            votes.extend(certificate.votes)
-        new_pofs = extract_pofs_from_votes(votes)
+        # Equivalent to extracting over justification votes + the body's
+        # certificate votes, but each side is grouped once (per decision /
+        # per broadcast body) and culprits that already have a PoF are
+        # skipped — merge_pofs would drop them anyway.
+        new_pofs = extract_pofs_from_grouped(
+            _decision_grouped_votes(local),
+            _confirm_grouped_votes(body),
+            skip=self.pofs,
+        )
         added = merge_pofs(self.pofs, new_pofs, verifier=self)
         if added:
             self._broadcast_pofs(added)

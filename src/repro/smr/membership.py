@@ -121,6 +121,16 @@ class _RestrictedHost(ProtocolHost):
     def verify(self, payload: Any, signed) -> bool:
         return self._base.verify(payload, signed)
 
+    @property
+    def verify_digest(self):
+        # Delegated as an attribute so a base host without the digest-first
+        # entry point keeps this host without it too (getattr discovery).
+        return getattr(self._base, "verify_digest")
+
+    @property
+    def verification_token(self):
+        return getattr(self._base, "verification_token", None)
+
     def emit(self, protocol, kind, body, recipients=None):
         targets = list(recipients) if recipients is not None else list(self._committee)
         self._base.emit(protocol, kind, body, recipients=targets)

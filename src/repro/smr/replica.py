@@ -66,12 +66,49 @@ class BaseReplica(RoutedProcess, ProtocolHost):
         self._committee = sorted(committee)
 
     # -- ProtocolHost: crypto ------------------------------------------------------
+    #
+    # Each primitive runs inside its own profiler bucket when the obs plane is
+    # active (``crypto.sign`` / ``crypto.verify``), so signing and
+    # verification cost is attributed separately from protocol dispatch; the
+    # ``obs is None`` fast path keeps disabled-mode overhead at one attribute
+    # load per call.
 
     def sign(self, payload: Any) -> SignedPayload:
-        return self._signer.sign(payload)
+        obs = self.obs
+        if obs is None:
+            return self._signer.sign(payload)
+        profiler = obs.profiler
+        profiler.enter("crypto.sign")
+        try:
+            return self._signer.sign(payload)
+        finally:
+            profiler.exit()
 
     def verify(self, payload: Any, signed: SignedPayload) -> bool:
-        return self._registry.verify(payload, signed)
+        obs = self.obs
+        if obs is None:
+            return self._registry.verify(payload, signed)
+        profiler = obs.profiler
+        profiler.enter("crypto.verify")
+        try:
+            return self._registry.verify(payload, signed)
+        finally:
+            profiler.exit()
+
+    def verify_digest(self, digest: str, signed: SignedPayload) -> bool:
+        obs = self.obs
+        if obs is None:
+            return self._registry.verify_digest(digest, signed)
+        profiler = obs.profiler
+        profiler.enter("crypto.verify")
+        try:
+            return self._registry.verify_digest(digest, signed)
+        finally:
+            profiler.exit()
+
+    @property
+    def verification_token(self) -> int:
+        return self._registry.verification_token
 
     @property
     def registry(self) -> KeyRegistry:

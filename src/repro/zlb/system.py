@@ -199,6 +199,7 @@ class ZLBSystem:
         workload_transactions: int = 200,
         batch_size: Optional[int] = None,
         max_time: float = 3_600.0,
+        max_events: Optional[int] = None,
         telemetry: Optional[TelemetryRegistry] = None,
         tracing: Optional[TraceRuntime] = None,
         obs: Optional[ObsRuntime] = None,
@@ -251,7 +252,13 @@ class ZLBSystem:
 
         simulator = NetworkSimulator(
             delay_model=delay_model,
-            config=SimulationConfig(seed=seed, max_time=max_time),
+            config=(
+                SimulationConfig(seed=seed, max_time=max_time)
+                if max_events is None
+                else SimulationConfig(
+                    seed=seed, max_time=max_time, max_events=max_events
+                )
+            ),
             telemetry=telemetry,
             tracing=tracing,
             obs=obs,

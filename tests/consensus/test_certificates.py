@@ -185,3 +185,100 @@ class TestProofOfFraud:
         rebuilt = ProofOfFraud.from_payload(pof.to_payload())
         assert rebuilt.culprit == 3
         assert rebuilt.verify(hosts[0])
+
+
+class _TokenHost(_Host):
+    """Host exposing the registry's verification token, like real replicas.
+
+    With the token present the certificate-validity cache is shared across
+    hosts of the same deployment (``_CERT_VALIDITY``); without it only the
+    per-instance memo applies.
+    """
+
+    @property
+    def verification_token(self):
+        return self._keys.registry.verification_token
+
+    def verify_digest(self, digest, signed):
+        return self._keys.registry.verify_digest(digest, signed)
+
+
+class TestCertificateValidityCache:
+    """Memoised certificate verification must be invisible to correctness."""
+
+    def test_repeat_verification_is_idempotent(self, keys, hosts):
+        from repro.consensus.certificates import _clear_memos
+
+        _clear_memos()
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        certificate = Certificate.from_votes(votes)
+        host = _TokenHost(keys, 0)
+        for _ in range(3):
+            certificate.verify(host, committee=range(7))
+            assert certificate.is_valid(host, committee=range(7))
+
+    def test_shrinking_committee_recheck_uses_cached_validity(self, keys, hosts):
+        from repro.consensus.certificates import _CERT_VALIDITY, _clear_memos
+
+        _clear_memos()
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        certificate = Certificate.from_votes(votes)
+        host = _TokenHost(keys, 0)
+        certificate.verify(host, committee=range(7))
+        assert len(_CERT_VALIDITY) == 1
+        # Exclusion shrinks the committee (Alg. 1 lines 31-36): the re-check
+        # must reuse the cached per-signer validity, not re-verify, and the
+        # committee restriction must still bite.
+        assert certificate.is_valid(host, committee=[0, 1, 2, 6])
+        assert not certificate.is_valid(host, committee=[4, 5, 6])
+        assert len(_CERT_VALIDITY) == 1
+
+    def test_cache_is_keyed_per_registry(self, hosts):
+        from repro.consensus.certificates import _clear_memos
+
+        _clear_memos()
+        keys_a = KeyRegistry.provision(range(7))
+        host_a = _TokenHost(keys_a, 0)
+        votes = [
+            make_vote(_Host(keys_a, i), "bin:0:1", 0, VoteKind.AUX, "x")
+            for i in range(5)
+        ]
+        certificate = Certificate.from_votes(votes)
+        certificate.verify(host_a, committee=range(7))
+        # A different deployment (fresh registry, different keys) must not
+        # inherit the cached verdict: its token differs, so the signatures
+        # are re-checked and rejected.
+        keys_b = KeyRegistry.provision(range(7), root_secret=b"other-deployment")
+        host_b = _TokenHost(keys_b, 0)
+        assert not certificate.is_valid(host_b, committee=range(7))
+        # And the original deployment still accepts it afterwards.
+        assert certificate.is_valid(host_a, committee=range(7))
+
+    def test_rebuilt_certificate_shares_cache_entry(self, keys, hosts):
+        from repro.consensus.certificates import _CERT_VALIDITY, _clear_memos
+
+        _clear_memos()
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        certificate = Certificate.from_votes(votes)
+        host = _TokenHost(keys, 0)
+        certificate.verify(host, committee=range(7))
+        rebuilt = certificate_from_payload(certificate.to_payload())
+        rebuilt.verify(host, committee=range(7))
+        # Same content, same registry: one shared entry, not one per object.
+        assert len(_CERT_VALIDITY) == 1
+
+    def test_tampered_vote_rejected_despite_warm_cache(self, keys, hosts):
+        from dataclasses import replace
+
+        from repro.consensus.certificates import _clear_memos
+
+        _clear_memos()
+        votes = [_vote(host, value="x") for host in hosts[:5]]
+        Certificate.from_votes(votes).verify(_TokenHost(keys, 0), committee=range(7))
+        # Swap one vote's signature for another signer's: the tampered
+        # certificate has different content, so it misses the cache and the
+        # fresh check rejects it.
+        forged = replace(votes[0], signature=votes[1].signature)
+        tampered = Certificate.from_votes([forged] + votes[1:])
+        with pytest.raises(InvalidCertificateError):
+            tampered.verify(_TokenHost(keys, 0), committee=range(7))

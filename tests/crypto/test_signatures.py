@@ -98,3 +98,79 @@ class TestPayloadDigest:
     def test_stable(self):
         assert payload_digest({"a": 1}) == payload_digest({"a": 1})
         assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+class TestVerifiedSignatureCache:
+    """The registry memoises cryptographic verdicts; caching must never
+    change *what* verifies — only how often the HMAC/ECDSA math runs."""
+
+    def test_tampered_signature_rejected_after_cache_hit(self):
+        keys = KeyRegistry.provision(range(4))
+        payload = {"vote": 1, "round": 3}
+        signed = keys.signer_for(1).sign(payload)
+        # Warm the cache with the genuine signature.
+        assert keys.registry.verify(payload, signed)
+        assert keys.registry.verify(payload, signed)
+        # A tampered signature shares signer and payload_hash but differs in
+        # the signature bytes — a different cache key, so it must re-verify
+        # and fail, not ride the cached True.
+        tampered = SignedPayload(
+            signer=signed.signer,
+            payload_hash=signed.payload_hash,
+            signature=b"\x00" * len(signed.signature),
+            scheme=signed.scheme,
+        )
+        assert not keys.registry.verify(payload, tampered)
+        # And the genuine one still verifies afterwards.
+        assert keys.registry.verify(payload, signed)
+
+    def test_tampered_payload_rejected_after_cache_hit(self):
+        keys = KeyRegistry.provision(range(4))
+        signed = keys.signer_for(0).sign({"vote": 1})
+        assert keys.registry.verify({"vote": 1}, signed)
+        # Same SignedPayload, different claimed payload: the digest binding
+        # check runs before the cache is consulted.
+        assert not keys.registry.verify({"vote": 0}, signed)
+        assert not keys.registry.verify_digest(
+            payload_digest({"vote": 0}), signed
+        )
+
+    def test_negative_verdicts_cached_without_poisoning(self):
+        keys = KeyRegistry.provision(range(2))
+        forged = SignedPayload(
+            signer=1,
+            payload_hash=payload_digest("x"),
+            signature=b"garbage",
+            scheme="simulated",
+        )
+        assert not keys.registry.verify("x", forged)
+        assert not keys.registry.verify("x", forged)
+        genuine = keys.signer_for(1).sign("x")
+        assert keys.registry.verify("x", genuine)
+
+    def test_unknown_signer_not_cached_before_registration(self):
+        registry = KeyRegistry()
+        signer = SimulatedSigner(7, root_secret=b"late")
+        signed = signer.sign("hello")
+        # Unknown signer: False, but must NOT be cached as a verdict …
+        assert not registry.verify("hello", signed)
+        # … because after registration the same signature becomes valid.
+        registry.register_signer(signer)
+        assert registry.verify("hello", signed)
+
+    def test_key_overwrite_drops_stale_verdicts_and_rotates_token(self):
+        registry = KeyRegistry()
+        old_signer = SimulatedSigner(3, root_secret=b"old")
+        registry.register_signer(old_signer)
+        signed = old_signer.sign("payload")
+        assert registry.verify("payload", signed)
+        token_before = registry.verification_token
+        new_signer = SimulatedSigner(3, root_secret=b"new")
+        registry.register_signer(new_signer)
+        # The cached True for the old key must not survive the overwrite.
+        assert not registry.verify("payload", signed)
+        assert registry.verify("payload", new_signer.sign("payload"))
+        assert registry.verification_token != token_before
+
+    def test_tokens_unique_per_registry(self):
+        assert KeyRegistry().verification_token != KeyRegistry().verification_token

@@ -6,6 +6,7 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.network.delays import (
+    AWS_LATENCY_SECONDS,
     AWS_REGIONS,
     AwsRegionDelay,
     ConstantDelay,
@@ -200,3 +201,76 @@ class TestDelayModelFromName:
             delay_model_from_name("warp-speed")
         with pytest.raises(ConfigurationError):
             delay_model_from_name("xxms")
+
+
+class TestSampleMany:
+    """The batched sampling contract: bit-identical to the scalar loop.
+
+    The kernel samples broadcast fan-outs through ``sample_many``; a single
+    float or RNG-state divergence from the per-target ``sample`` loop would
+    silently re-schedule every seeded experiment, so identity is pinned for
+    every model the registry can name plus the attack-scenario composite.
+    """
+
+    REGISTERED_NAMES = (
+        "aws",
+        "aws-like",
+        "gamma",
+        "constant",
+        "jitter",
+        "lossy",
+        "200ms",
+        "500ms",
+        "1000ms",
+        "5000ms",
+    )
+
+    def _assert_bit_identical(self, model, sender, targets):
+        scalar_rng = random.Random(7)
+        batched_rng = random.Random(7)
+        scalar = [model.sample(sender, target, scalar_rng) for target in targets]
+        batched = model.sample_many(sender, targets, batched_rng)
+        assert batched == scalar
+        # Same values *and* the same amount of randomness consumed: the next
+        # draw after the fan-out must not shift either.
+        assert scalar_rng.getstate() == batched_rng.getstate()
+
+    def test_every_registered_model(self):
+        targets = list(range(20))
+        for name in self.REGISTERED_NAMES:
+            model = delay_model_from_name(name)
+            self._assert_bit_identical(model, sender=3, targets=targets)
+
+    def test_partitioned_composite(self):
+        partition = PartitionSpec.split_evenly([0, 1, 2, 3, 4, 5], 2, bridging=[6])
+        model = PartitionedDelay(
+            base=GammaDelay(),
+            cross_partition=UniformDelay.from_mean(1.0),
+            partition=partition,
+        )
+        # The target list mixes same-partition, cross-partition and bridging
+        # pairs, so the per-target branch order is exercised end to end.
+        self._assert_bit_identical(model, sender=0, targets=[0, 1, 2, 3, 4, 5, 6])
+
+    def test_aws_table_matches_region_lookup(self, rng):
+        # The precomputed pair table must agree with the string-keyed lookup
+        # for every (sender, recipient) region combination.
+        model = AwsRegionDelay(jitter_fraction=0.0)
+        for sender in range(10):
+            for recipient in range(10):
+                expected = model.sample(sender, recipient, rng)
+                via_regions = max(
+                    0.0005,
+                    AWS_LATENCY_SECONDS.get(
+                        (model.region_of(sender), model.region_of(recipient)),
+                        AWS_LATENCY_SECONDS.get(
+                            (model.region_of(recipient), model.region_of(sender)), 0.0
+                        ),
+                    ),
+                )
+                assert expected == via_regions
+
+    def test_empty_targets(self):
+        model = delay_model_from_name("aws")
+        rng_before = random.Random(5)
+        assert model.sample_many(1, [], rng_before) == []

@@ -64,6 +64,9 @@ def test_golden_cell_profile_attributes_most_host_cpu():
     assert "system.build" in buckets
     assert "ledger.append" in buckets
     assert any(name.startswith("dispatch:") for name in buckets)
+    # Crypto primitives are attributed separately from protocol dispatch.
+    assert "crypto.sign" in buckets
+    assert "crypto.verify" in buckets
 
     # The sampler streamed real series alongside: event rate, per-protocol
     # message rates and the commit-latency sliding quantiles.
