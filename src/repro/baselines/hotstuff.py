@@ -118,7 +118,7 @@ class HotStuffReplica(RoutedProcess):
     def submit_views(self, count: int) -> None:
         """Allow the protocol to run ``count`` more views."""
         self.max_views += count
-        if self._simulator is not None:
+        if self._transport is not None:
             self._maybe_propose()
 
     def on_start(self) -> None:

@@ -1,0 +1,28 @@
+"""Real-cluster deployment: ZLB replicas as OS processes over sockets.
+
+``python -m repro.cluster`` boots an n-replica localhost cluster in which
+every replica is a separate OS process running the unmodified protocol stack
+on an :class:`~repro.network.asyncio_transport.AsyncioTransport` (TCP or
+UNIX-domain sockets), drives the payment workload through it and reports
+*wall-clock* throughput and p50/p99 time-to-commit.
+
+The package splits into:
+
+* :mod:`repro.cluster.fixture` — deterministic per-process reconstruction of
+  the deployment (keys, genesis, workload shares) so every worker builds the
+  byte-identical genesis without any coordination traffic.
+* :mod:`repro.cluster.worker` — the per-replica subprocess entry point.
+* :mod:`repro.cluster.launcher` — spawns workers, watches for crashes,
+  aggregates their reports.
+"""
+
+from repro.cluster.fixture import ClusterSpec, build_node, endpoints_for
+from repro.cluster.launcher import ClusterResult, run_cluster
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterResult",
+    "build_node",
+    "endpoints_for",
+    "run_cluster",
+]

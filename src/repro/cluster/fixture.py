@@ -1,0 +1,184 @@
+"""Deterministic cluster fixture: every worker rebuilds the same deployment.
+
+A real cluster has no central ``ZLBSystem.create`` call: each OS process must
+construct its own replica, and all of them must agree on the genesis block,
+the PKI and the client workload *without exchanging a byte*.  This module
+makes that reconstruction a pure function of :class:`ClusterSpec` — the same
+spec (committee size, seed, workload shape) always yields the same genesis
+UTXO ids, the same provisioned keys and the same transaction stream,
+mirroring the construction order of :meth:`repro.zlb.system.ZLBSystem.create`
+(workload allocations first, then one deposit account per committee member).
+
+The workload is split the way :meth:`ZLBSystem.submit_workload` spreads it in
+simulation — transaction ``i`` goes to replica ``i % n`` — so simulated and
+real runs of the same spec commit the same transactions from the same
+mempools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Dict, List, Tuple
+
+from repro.common.config import ProtocolConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import ReplicaId
+from repro.crypto.keys import KeyRegistry
+from repro.ledger.block import make_genesis_block
+from repro.ledger.transaction import Transaction
+from repro.ledger.workload import TransferWorkload
+from repro.network.asyncio_transport import Endpoint
+from repro.smr.pool import CandidatePool
+from repro.zlb.blockchain_manager import BlockchainManager, replica_deposit_account
+from repro.zlb.node import ZLBReplica
+from repro.zlb.payment import DepositPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Everything a worker needs to rebuild its slice of the deployment.
+
+    Attributes:
+        n: committee size (all replicas honest — the cluster backend measures
+            the fault-free data path; attacks stay in the simulator).
+        transport: ``"uds"`` or ``"tcp"``.
+        transactions: total client transfers driven through the cluster.
+        batch_size: transactions per proposal.
+        accounts: number of funded client accounts in the workload.
+        seed: seed for keys, workload and genesis (determinism anchor).
+        socket_dir: directory for UNIX-domain socket files (``uds`` only).
+        base_port: first TCP port; replica ``i`` listens on ``base_port + i``
+            (``tcp`` only).
+        timeout: per-worker wall-clock budget in seconds.
+    """
+
+    n: int = 4
+    transport: str = "uds"
+    transactions: int = 200
+    batch_size: int = 50
+    accounts: int = 16
+    seed: int = 0
+    socket_dir: str = ""
+    base_port: int = 0
+    timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError("cluster needs at least one replica")
+        if self.transport not in ("uds", "tcp"):
+            raise ConfigurationError(f"unknown transport {self.transport!r}")
+        if self.transactions < 0:
+            raise ConfigurationError("transactions must be non-negative")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    @property
+    def committee(self) -> List[ReplicaId]:
+        return list(range(self.n))
+
+    @property
+    def instances_needed(self) -> int:
+        """Consensus instances required to drain every replica's share.
+
+        Each instance commits the union of every replica's next batch, so the
+        budget is set by the largest per-replica share.
+        """
+        if self.transactions == 0:
+            return 0
+        largest_share = math.ceil(self.transactions / self.n)
+        return math.ceil(largest_share / self.batch_size)
+
+
+def endpoints_for(spec: ClusterSpec) -> Dict[ReplicaId, Endpoint]:
+    """The full replica-id → listening-endpoint map of the deployment."""
+    endpoints: Dict[ReplicaId, Endpoint] = {}
+    for replica_id in spec.committee:
+        if spec.transport == "uds":
+            if not spec.socket_dir:
+                raise ConfigurationError("uds transport needs a socket_dir")
+            endpoints[replica_id] = Endpoint.uds(
+                os.path.join(spec.socket_dir, f"replica-{replica_id}.sock")
+            )
+        else:
+            if spec.base_port <= 0:
+                raise ConfigurationError("tcp transport needs a base_port")
+            endpoints[replica_id] = Endpoint.tcp(
+                "127.0.0.1", spec.base_port + replica_id
+            )
+    return endpoints
+
+
+@dataclasses.dataclass
+class ClusterNode:
+    """One worker's locally reconstructed slice of the deployment."""
+
+    replica: ZLBReplica
+    #: This replica's share of the client workload (``tx i → replica i % n``).
+    share: List[Transaction]
+    #: Total transfers across the whole cluster (the commit target: SBC
+    #: decides unions, so every replica commits every transaction).
+    total_transactions: int
+    #: Consensus instances this replica must request to drain the workload.
+    instances_needed: int
+    #: Conserved value (UTXO supply + deposits) at genesis — the zero-loss
+    #: baseline the final state is checked against.
+    conserved_baseline: int
+
+
+def build_node(spec: ClusterSpec, replica_id: ReplicaId) -> ClusterNode:
+    """Deterministically rebuild replica ``replica_id`` of the deployment.
+
+    Mirrors ``ZLBSystem.create`` exactly: same key provisioning, same genesis
+    allocation order (workload accounts, then per-replica deposits), same
+    batch size — so every worker derives the identical genesis block hash and
+    UTXO table, and cross-replica signatures verify.
+    """
+    committee = spec.committee
+    if replica_id not in committee:
+        raise ConfigurationError(
+            f"replica {replica_id} is not in the committee of size {spec.n}"
+        )
+    keys = KeyRegistry.provision(committee)
+    workload = TransferWorkload(
+        num_accounts=spec.accounts, seed=spec.seed, initial_balance=1_000_000
+    )
+    deposit_policy = DepositPolicy(
+        gain_bound=100_000, deposit_factor=1.0, finalization_blockdepth=5
+    )
+    allocations: List[Tuple[str, int]] = list(workload.genesis_allocations)
+    per_replica_deposit = deposit_policy.per_replica_deposit(spec.n)
+    for member in committee:
+        allocations.append((replica_deposit_account(member), per_replica_deposit))
+    genesis_block, genesis_utxos = make_genesis_block(allocations)
+
+    blockchain = BlockchainManager(
+        replica_id=replica_id,
+        initial_deposit=deposit_policy.coalition_deposit,
+        batch_size=spec.batch_size,
+        genesis=(genesis_block, genesis_utxos),
+    )
+    replica = ZLBReplica(
+        replica_id=replica_id,
+        committee=committee,
+        signer=keys.signer_for(replica_id),
+        registry=keys.registry,
+        blockchain=blockchain,
+        pool=CandidatePool([]),
+        config=ProtocolConfig(batch_size=spec.batch_size),
+    )
+
+    transactions = workload.batch(spec.transactions)
+    share = [
+        transaction
+        for index, transaction in enumerate(transactions)
+        if index % spec.n == replica_id
+    ]
+    return ClusterNode(
+        replica=replica,
+        share=share,
+        total_transactions=len(transactions),
+        instances_needed=spec.instances_needed,
+        conserved_baseline=blockchain.conserved_total(),
+    )

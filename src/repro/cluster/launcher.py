@@ -1,0 +1,310 @@
+"""The cluster launcher: spawn workers, watch them, aggregate their reports.
+
+:func:`run_cluster` boots one OS process per replica (``python -m
+repro.cluster.worker``), tails each worker's stdout for its one-line-JSON
+report, and folds the per-replica results into a :class:`ClusterResult` with
+cluster-wide throughput and p50/p99 wall-clock time-to-commit.
+
+Failure handling is explicit rather than hopeful:
+
+* a worker that exits without emitting its report is recorded as **crashed**
+  (exit code captured, one log line per crash) — the launcher never hangs on
+  a dead replica;
+* on overall timeout or operator interrupt every surviving worker gets
+  ``SIGTERM`` and a grace period to drain (workers report ``"terminated"``
+  and exit 0), then ``SIGKILL``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.metrics import summarize_latencies
+from repro.cluster.fixture import ClusterSpec
+from repro.common.logging import get_logger
+
+log = get_logger("repro.cluster")
+
+#: Seconds a SIGTERM'd worker gets to drain before SIGKILL.
+TERM_GRACE_S = 5.0
+
+
+@dataclasses.dataclass
+class WorkerHandle:
+    """One spawned worker process and the collector state around it."""
+
+    replica_id: int
+    process: subprocess.Popen
+    report: Optional[Dict[str, Any]] = None
+    ready: bool = False
+    stderr_tail: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def crashed(self) -> bool:
+        """Exited without delivering a report (distinct from a clean drain)."""
+        code = self.process.returncode
+        return code is not None and self.report is None
+
+
+@dataclasses.dataclass
+class ClusterResult:
+    """Aggregated outcome of one real-cluster run."""
+
+    ok: bool
+    spec: ClusterSpec
+    duration_s: float
+    committed: int
+    total_transactions: int
+    throughput_tx_per_s: float
+    latency_p50_s: Optional[float]
+    latency_p99_s: Optional[float]
+    zero_loss: bool
+    crashes: Dict[int, int]  # replica id -> exit code
+    reports: Dict[int, Dict[str, Any]]
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (worker telemetry snapshots included)."""
+        return {
+            "ok": self.ok,
+            "n": self.spec.n,
+            "transport": self.spec.transport,
+            "transactions": self.total_transactions,
+            "batch_size": self.spec.batch_size,
+            "seed": self.spec.seed,
+            "duration_s": self.duration_s,
+            "committed": self.committed,
+            "throughput_tx_per_s": self.throughput_tx_per_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+            "zero_loss": self.zero_loss,
+            "crashes": {str(rid): code for rid, code in self.crashes.items()},
+            "replicas": {str(rid): report for rid, report in self.reports.items()},
+        }
+
+
+def _free_tcp_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _pick_base_port(n: int) -> int:
+    """A base port whose ``n``-port window is free right now.
+
+    Localhost-smoke quality (there is a bind race between probe and worker),
+    which is all the launcher promises; collisions surface as worker crashes.
+    """
+    for _ in range(32):
+        base = _free_tcp_port()
+        if all(_is_free(base + offset) for offset in range(1, n)):
+            return base
+    raise RuntimeError("could not find a free TCP port window")
+
+
+def _is_free(port: int) -> bool:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        try:
+            probe.bind(("127.0.0.1", port))
+        except OSError:
+            return False
+        return True
+
+
+def _worker_argv(spec: ClusterSpec, replica_id: int) -> List[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.cluster.worker",
+        "--replica-id",
+        str(replica_id),
+        "--n",
+        str(spec.n),
+        "--transport",
+        spec.transport,
+        "--socket-dir",
+        spec.socket_dir,
+        "--base-port",
+        str(spec.base_port),
+        "--transactions",
+        str(spec.transactions),
+        "--batch-size",
+        str(spec.batch_size),
+        "--accounts",
+        str(spec.accounts),
+        "--seed",
+        str(spec.seed),
+        "--timeout",
+        str(spec.timeout),
+    ]
+
+
+def _collect_stdout(handle: WorkerHandle) -> None:
+    stream = handle.process.stdout
+    if stream is None:
+        return
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            handle.stderr_tail.append(line)
+            continue
+        if payload.get("event") == "ready":
+            handle.ready = True
+        elif payload.get("event") == "report":
+            handle.report = payload
+
+
+def _collect_stderr(handle: WorkerHandle) -> None:
+    stream = handle.process.stderr
+    if stream is None:
+        return
+    for line in stream:
+        handle.stderr_tail.append(line.rstrip())
+        del handle.stderr_tail[:-20]
+
+
+def _terminate(handles: List[WorkerHandle]) -> None:
+    for handle in handles:
+        if handle.process.poll() is None:
+            handle.process.terminate()
+    deadline = time.monotonic() + TERM_GRACE_S
+    for handle in handles:
+        remaining = deadline - time.monotonic()
+        try:
+            handle.process.wait(timeout=max(0.1, remaining))
+        except subprocess.TimeoutExpired:
+            handle.process.kill()
+            handle.process.wait()
+
+
+def run_cluster(spec: ClusterSpec) -> ClusterResult:
+    """Boot the cluster described by ``spec``, wait for it, aggregate results."""
+    cleanup_dir: Optional[tempfile.TemporaryDirectory] = None
+    if spec.transport == "uds" and not spec.socket_dir:
+        cleanup_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        spec = dataclasses.replace(spec, socket_dir=cleanup_dir.name)
+    if spec.transport == "tcp" and spec.base_port <= 0:
+        spec = dataclasses.replace(spec, base_port=_pick_base_port(spec.n))
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+
+    handles: List[WorkerHandle] = []
+    threads: List[threading.Thread] = []
+    started_at = time.monotonic()
+    try:
+        for replica_id in spec.committee:
+            process = subprocess.Popen(
+                _worker_argv(spec, replica_id),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            handle = WorkerHandle(replica_id=replica_id, process=process)
+            handles.append(handle)
+            for target in (_collect_stdout, _collect_stderr):
+                thread = threading.Thread(target=target, args=(handle,), daemon=True)
+                thread.start()
+                threads.append(thread)
+
+        # Wait until every worker exits, a worker crashes, or the overall
+        # budget runs out.  Workers self-terminate once their chain holds the
+        # full workload, so the happy path is "all exited 0 with reports".
+        deadline = started_at + spec.timeout + TERM_GRACE_S
+        while time.monotonic() < deadline:
+            states = [handle.process.poll() for handle in handles]
+            if all(code is not None for code in states):
+                break
+            crashed = [handle for handle in handles if handle.crashed]
+            if crashed:
+                for handle in crashed:
+                    log.error(
+                        "replica %d crashed (exit code %s)%s",
+                        handle.replica_id,
+                        handle.process.returncode,
+                        (
+                            ": " + handle.stderr_tail[-1]
+                            if handle.stderr_tail
+                            else ""
+                        ),
+                    )
+                _terminate(handles)
+                break
+            time.sleep(0.05)
+        else:
+            log.error(
+                "cluster timed out after %.1fs; terminating workers", spec.timeout
+            )
+        _terminate(handles)
+        for thread in threads:
+            thread.join(timeout=1.0)
+    except BaseException:
+        _terminate(handles)
+        raise
+    finally:
+        if cleanup_dir is not None:
+            cleanup_dir.cleanup()
+    duration = time.monotonic() - started_at
+
+    reports = {
+        handle.replica_id: handle.report
+        for handle in handles
+        if handle.report is not None
+    }
+    crashes = {
+        handle.replica_id: handle.process.returncode
+        for handle in handles
+        if handle.crashed
+    }
+    total = max(
+        (report["total_transactions"] for report in reports.values()),
+        default=spec.transactions,
+    )
+    committed = min(
+        (report["committed"] for report in reports.values()), default=0
+    )
+    pooled: List[float] = []
+    for report in reports.values():
+        pooled.extend(report.get("commit_latencies_s", ()))
+    latency = summarize_latencies(pooled)
+    zero_loss = bool(reports) and all(
+        report["conserved_ok"] and report["commit_rejected"] == 0
+        for report in reports.values()
+    )
+    ok = (
+        not crashes
+        and len(reports) == spec.n
+        and committed >= total
+        and zero_loss
+        and all(report["status"] == "ok" for report in reports.values())
+    )
+    return ClusterResult(
+        ok=ok,
+        spec=spec,
+        duration_s=duration,
+        committed=committed,
+        total_transactions=total,
+        throughput_tx_per_s=(committed / duration if duration > 0 else 0.0),
+        latency_p50_s=latency.get("p50") if pooled else None,
+        latency_p99_s=latency.get("p99") if pooled else None,
+        zero_loss=zero_loss,
+        crashes=crashes,
+        reports=reports,
+    )

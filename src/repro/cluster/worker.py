@@ -1,0 +1,197 @@
+"""Per-replica subprocess: one ZLB node on an asyncio transport.
+
+Launched by :mod:`repro.cluster.launcher` as ``python -m repro.cluster.worker
+--replica-id I ...``.  The worker rebuilds its slice of the deployment from
+the :class:`~repro.cluster.fixture.ClusterSpec` encoded in its flags, serves
+its endpoint, dials its peers, feeds its workload share into the mempool and
+runs consensus until every transaction in the cluster is committed locally.
+
+It speaks a one-line-JSON protocol on stdout:
+
+* ``{"event": "ready", ...}`` once the listener is bound (the launcher can
+  tail progress, but workers self-synchronise by retrying dials).
+* ``{"event": "report", ...}`` exactly once at the end — committed counts,
+  per-transaction wall-clock commit latencies, zero-loss accounting, the
+  transport's byte/message counters and a telemetry snapshot.
+
+``SIGTERM`` drains cleanly: the worker stops waiting, emits its report with
+``"status": "terminated"`` and exits 0, so a launcher-initiated shutdown is
+distinguishable from a crash (no report, non-zero exit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.fixture import ClusterSpec, build_node, endpoints_for
+from repro.network.asyncio_transport import AsyncioTransport
+from repro.telemetry.core import TelemetryRegistry
+
+#: How often the commit-completion poll wakes up.
+POLL_INTERVAL_S = 0.02
+
+
+def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(prog="repro.cluster.worker")
+    parser.add_argument("--replica-id", type=int, required=True)
+    parser.add_argument("--n", type=int, required=True)
+    parser.add_argument("--transport", choices=("uds", "tcp"), default="uds")
+    parser.add_argument("--socket-dir", default="")
+    parser.add_argument("--base-port", type=int, default=0)
+    parser.add_argument("--transactions", type=int, default=200)
+    parser.add_argument("--batch-size", type=int, default=50)
+    parser.add_argument("--accounts", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=60.0)
+    return parser.parse_args(argv)
+
+
+def _emit(payload: Dict[str, Any]) -> None:
+    sys.stdout.write(json.dumps(payload) + "\n")
+    sys.stdout.flush()
+
+
+async def _run(spec: ClusterSpec, replica_id: int) -> int:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    terminated = False
+
+    def _on_sigterm() -> None:
+        nonlocal terminated
+        terminated = True
+        stop.set()
+
+    loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+    loop.add_signal_handler(signal.SIGINT, _on_sigterm)
+
+    telemetry = TelemetryRegistry()
+    node = build_node(spec, replica_id)
+    replica = node.replica
+    transport = AsyncioTransport(
+        replica_id, endpoints_for(spec), telemetry=telemetry
+    )
+    transport.add_process(replica)
+    await transport.start()
+    _emit({"event": "ready", "replica_id": replica_id})
+    await transport.connect(timeout=spec.timeout)
+    _emit(
+        {
+            "event": "connected",
+            "replica_id": replica_id,
+            "peers": sorted(transport._writers),
+        }
+    )
+
+    # Wall-clock time-to-commit: stamp every share transaction at admission,
+    # close the interval when the commit callback lands its block.
+    admit_times: Dict[str, float] = {}
+    latencies: List[float] = []
+    original_on_commit = replica.on_commit
+
+    def _hooked_on_commit(instance: int, decision) -> None:
+        original_on_commit(instance, decision)
+        block = replica.blockchain.blocks_by_instance.get(instance)
+        if block is None:
+            return
+        now = loop.time()
+        for transaction in block.transactions:
+            admitted_at = admit_times.pop(transaction.tx_id, None)
+            if admitted_at is not None:
+                latencies.append(now - admitted_at)
+        if replica.blockchain.transactions_committed >= node.total_transactions:
+            stop.set()
+
+    replica.on_commit = _hooked_on_commit
+
+    started_at = loop.time()
+    accepted = replica.submit_transactions(node.share)
+    admitted_at = loop.time()
+    for transaction in node.share:
+        admit_times.setdefault(transaction.tx_id, admitted_at)
+
+    transport.start_processes()
+    replica.submit_instances(node.instances_needed)
+
+    deadline = started_at + spec.timeout
+    while not stop.is_set():
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            break
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=min(remaining, POLL_INTERVAL_S))
+        except asyncio.TimeoutError:
+            if replica.blockchain.transactions_committed >= node.total_transactions:
+                break
+            # Liveness: under real concurrency a slow proposal can miss an
+            # instance's decided union, stranding its transactions in the
+            # proposer's mempool.  Whenever every requested instance has
+            # decided but the chain is still short of the workload, every
+            # worker symmetrically budgets one more instance to drain the
+            # stragglers (peers join instances up to their own target).
+            if (
+                replica.next_instance >= replica.target_instances
+                and len(replica.decided_instances()) >= replica.target_instances
+            ):
+                replica.submit_instances(1)
+    finished_at = loop.time()
+
+    committed = replica.blockchain.transactions_committed
+    done = committed >= node.total_transactions
+    if terminated:
+        status = "terminated"
+    elif done:
+        status = "ok"
+    else:
+        status = "timeout"
+    _emit(
+        {
+            "event": "report",
+            "status": status,
+            "replica_id": replica_id,
+            "accepted": accepted,
+            "committed": committed,
+            "total_transactions": node.total_transactions,
+            "blocks": len(replica.blockchain.blocks_by_instance),
+            "duration_s": finished_at - started_at,
+            "commit_latencies_s": latencies,
+            "conserved_ok": (
+                replica.blockchain.conserved_total() == node.conserved_baseline
+            ),
+            "commit_rejected": replica.blockchain.stats.commit_rejected,
+            "transport": {
+                "messages_sent": transport.messages_sent,
+                "messages_delivered": transport.messages_delivered,
+                "messages_dropped": transport.messages_dropped,
+                "bytes_sent": transport.bytes_sent,
+            },
+            "chain": replica.chain_summary(),
+            "telemetry": telemetry.snapshot(),
+        }
+    )
+    await transport.close()
+    return 0 if status in ("ok", "terminated") else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    spec = ClusterSpec(
+        n=args.n,
+        transport=args.transport,
+        transactions=args.transactions,
+        batch_size=args.batch_size,
+        accounts=args.accounts,
+        seed=args.seed,
+        socket_dir=args.socket_dir,
+        base_port=args.base_port,
+        timeout=args.timeout,
+    )
+    return asyncio.run(_run(spec, args.replica_id))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,8 +45,8 @@ class ReplicaLogAdapter(logging.LoggerAdapter):
 
     def process(self, msg: str, kwargs: Any) -> Tuple[str, Any]:
         proc = self._process
-        simulator = getattr(proc, "_simulator", None)
-        now = simulator._now if simulator is not None else 0.0
+        transport = getattr(proc, "_transport", None)
+        now = transport.now if transport is not None else 0.0
         trace = ""
         tracing = getattr(proc, "tracing", None)
         if tracing is not None:

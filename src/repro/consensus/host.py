@@ -51,7 +51,12 @@ class ProtocolHost:
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current time of the bound transport backend.
+
+        Simulated seconds under the discrete-event simulator, wall-clock
+        (event loop) seconds under the asyncio transport — components only
+        ever compare and subtract it, so they run unchanged on either.
+        """
         raise NotImplementedError
 
     def schedule(self, delay: float, callback) -> int:
@@ -104,9 +109,10 @@ class ProtocolHost:
 class SimpleHost(ProtocolHost):
     """A concrete host used by unit tests and by the replica implementations.
 
-    It binds a :class:`~repro.network.simulator.Process`-like transport (any
-    object with ``broadcast``/``send_to``/``set_timer``/``now``), a signer and
-    a key registry.  Decisions are collected into :attr:`decisions`.
+    It binds a :class:`~repro.network.transport.Process`-like transport (any
+    object with ``broadcast``/``send_to``/``set_timer``/``now`` — a process
+    bound to either transport backend qualifies), a signer and a key
+    registry.  Decisions are collected into :attr:`decisions`.
     """
 
     def __init__(

@@ -1,13 +1,25 @@
-"""Discrete-event network simulation substrate.
+"""Network substrate: the transport seam and its two backends.
 
-The paper evaluates ZLB on 90–100 AWS machines across five regions; the
-reproduction replaces the physical network with a deterministic discrete-event
-simulator (see DESIGN.md §2).  The simulator delivers messages after delays
-drawn from pluggable :mod:`delay models <repro.network.delays>`, including the
-partition-aware delays used to mount the coalition attacks of §5.2–§5.3.
+Protocol code talks to an abstract :class:`~repro.network.transport.Transport`
+(send, broadcast, timers, clock, membership).  Two backends implement it:
+
+* :class:`~repro.network.simulator.NetworkSimulator` — the deterministic
+  discrete-event simulator the paper's experiments run on (see DESIGN.md §2),
+  with pluggable :mod:`delay models <repro.network.delays>` including the
+  partition-aware delays used to mount the coalition attacks of §5.2–§5.3.
+* :class:`~repro.network.asyncio_transport.AsyncioTransport` — real TCP or
+  UNIX-domain sockets with wall-clock timers, used by the ``python -m
+  repro.cluster`` launcher to run the unmodified protocol stack as separate
+  OS processes (messages cross via :mod:`repro.network.codec` frames).
 """
 
 from repro.network.message import Message
+from repro.network.codec import (
+    CodecError,
+    decode_message,
+    encode_message,
+    frame_message,
+)
 from repro.network.delays import (
     AwsRegionDelay,
     ConstantDelay,
@@ -21,6 +33,8 @@ from repro.network.partition import PartitionSpec
 from repro.network.router import RoutedProcess, Router
 from repro.network.simulator import NetworkSimulator, Process
 from repro.network.topic import Topic, TopicLike, as_topic, topic
+from repro.network.transport import Clock, Transport
+from repro.network.asyncio_transport import AsyncioTransport, Endpoint
 
 __all__ = [
     "Message",
@@ -40,4 +54,12 @@ __all__ = [
     "PartitionSpec",
     "NetworkSimulator",
     "Process",
+    "Clock",
+    "Transport",
+    "CodecError",
+    "encode_message",
+    "decode_message",
+    "frame_message",
+    "AsyncioTransport",
+    "Endpoint",
 ]

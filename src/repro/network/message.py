@@ -79,10 +79,22 @@ class Message:
         return self.topic.canonical
 
     def size_bytes(self) -> int:
-        """Memoised wire-size estimate of the body (see estimate_size_bytes)."""
+        """Memoised exact wire size: the codec's length-prefixed frame length.
+
+        This is what the asyncio transport actually writes per recipient, so
+        per-protocol byte counters in telemetry/obs mean the same thing under
+        the simulator and the real backend.  Bodies carrying objects the codec
+        does not know (test doubles) fall back to the canonical-encoding
+        estimate (:func:`estimate_size_bytes`).
+        """
         size = self._size
         if size is None:
-            size = estimate_size_bytes(self.body)
+            from repro.network.codec import CodecError, message_frame_size
+
+            try:
+                size = message_frame_size(self)
+            except (CodecError, TypeError):
+                size = estimate_size_bytes(self.body)
             self._size = size
         return size
 

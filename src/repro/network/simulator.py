@@ -26,14 +26,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.config import SimulationConfig
 from repro.common.errors import SimulationError
-from repro.common.logging import replica_logger
 from repro.common.types import ReplicaId
 from repro.network.delays import ConstantDelay, DelayModel
 from repro.network.message import Message
+from repro.network.transport import Process, Transport
 from repro.obs import core as obs_core
 from repro.obs.core import ObsRuntime
 from repro.telemetry import core as telemetry_core
@@ -41,125 +41,18 @@ from repro.telemetry.core import TelemetryRegistry, protocol_group
 from repro.tracing import core as tracing_core
 from repro.tracing.core import TraceRuntime
 
+__all__ = [
+    "NetworkSimulator",
+    "Process",
+    "SimulationResult",
+    "QUEUE_DEPTH_SAMPLE_EVERY",
+]
+
 #: Queue depth is sampled every this many processed events (power of two so
 #: the hot loop's modulo is a mask); sampling keeps enabled-mode overhead low
 #: while still tracing how the backlog evolves.  Note the sampled value counts
 #: heap entries: a pending broadcast is one entry regardless of fan-out.
 QUEUE_DEPTH_SAMPLE_EVERY = 64
-
-
-class Process:
-    """Base class of every simulated replica/protocol endpoint.
-
-    Subclasses implement :meth:`on_message` and may override :meth:`on_start`.
-    A process may only send messages once it has been added to a simulator.
-    """
-
-    def __init__(self, replica_id: ReplicaId):
-        self.replica_id = replica_id
-        self._simulator: Optional["NetworkSimulator"] = None
-        #: Cached telemetry registry (or None when disabled); set at bind time
-        #: so hot protocol paths pay a plain attribute load plus a None check.
-        self.telemetry: Optional[TelemetryRegistry] = None
-        #: Cached tracing runtime (or None when disabled); same contract.
-        self.tracing: Optional[TraceRuntime] = None
-        #: Cached obs runtime (or None when disabled); same contract.
-        self.obs: Optional[ObsRuntime] = None
-        #: Per-replica logger injecting id, simulated time and trace context.
-        self.log = replica_logger(self)
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def bind(self, simulator: "NetworkSimulator") -> None:
-        """Attach the process to a simulator (called by ``add_process``)."""
-        self._simulator = simulator
-        self.telemetry = simulator.telemetry
-        self.tracing = simulator.tracing
-        self.obs = simulator.obs
-
-    @property
-    def simulator(self) -> "NetworkSimulator":
-        if self._simulator is None:
-            raise SimulationError(
-                f"process {self.replica_id} is not attached to a simulator"
-            )
-        return self._simulator
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self.simulator.now
-
-    # -- communication -------------------------------------------------------
-
-    def send(self, message: Message) -> None:
-        """Send a point-to-point message."""
-        self.simulator.submit(message)
-
-    def send_to(self, recipient: ReplicaId, protocol, kind: str, body: dict) -> None:
-        """Convenience wrapper building the envelope and sending it."""
-        self.send(
-            Message(
-                sender=self.replica_id,
-                recipient=recipient,
-                protocol=protocol,
-                kind=kind,
-                body=body,
-            )
-        )
-
-    def broadcast(
-        self,
-        protocol,
-        kind: str,
-        body: dict,
-        include_self: bool = True,
-        recipients: Optional[Iterable[ReplicaId]] = None,
-    ) -> None:
-        """Send the same message to every replica known to the simulator.
-
-        ``recipients`` restricts the broadcast (used by deceitful replicas to
-        equivocate towards specific partitions).  One envelope and one queue
-        event serve every recipient; without an explicit recipient list the
-        simulator's cached membership view is used directly (no re-sorting).
-        """
-        simulator = self.simulator
-        if recipients is not None:
-            if include_self:
-                targets: Sequence[ReplicaId] = list(recipients)
-            else:
-                targets = [r for r in recipients if r != self.replica_id]
-        else:
-            view = simulator.membership_view()
-            if include_self:
-                targets = view
-            else:
-                targets = [r for r in view if r != self.replica_id]
-        message = Message(
-            sender=self.replica_id,
-            recipient=None,
-            protocol=protocol,
-            kind=kind,
-            body=body,
-        )
-        simulator.submit_broadcast(message, targets)
-
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> int:
-        """Schedule ``callback`` to run after ``delay`` simulated seconds."""
-        return self.simulator.schedule(delay, callback, owner=self.replica_id)
-
-    def cancel_timer(self, timer_id: int) -> None:
-        """Cancel a previously scheduled timer (no-op if already fired)."""
-        self.simulator.cancel(timer_id)
-
-    # -- protocol hooks ------------------------------------------------------
-
-    def on_start(self) -> None:
-        """Hook invoked when the simulation starts (before any message)."""
-
-    def on_message(self, message: Message) -> None:
-        """Handle a delivered message."""
-        raise NotImplementedError
 
 
 class _Event:
@@ -216,8 +109,14 @@ class _Event:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
-class NetworkSimulator:
-    """Deterministic discrete-event simulator delivering messages and timers."""
+class NetworkSimulator(Transport):
+    """Deterministic discrete-event :class:`Transport` backend.
+
+    Implements the full transport seam (submit/broadcast/timers/clock/
+    membership) on top of a priority queue of events and virtual time; the
+    real-network counterpart is
+    :class:`~repro.network.asyncio_transport.AsyncioTransport`.
+    """
 
     def __init__(
         self,

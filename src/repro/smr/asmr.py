@@ -223,7 +223,7 @@ class ASMRReplica(BaseReplica):
     def submit_instances(self, count: int) -> None:
         """Ask the replica to run ``count`` more consensus instances."""
         self.target_instances += count
-        if self._simulator is not None and not self.standby:
+        if self._transport is not None and not self.standby:
             self._maybe_start_next_instance()
 
     def _maybe_start_next_instance(self) -> None:

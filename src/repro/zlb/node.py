@@ -52,8 +52,8 @@ class ZLBReplica(ASMRReplica):
 
     # -- lifecycle ------------------------------------------------------------------
 
-    def bind(self, simulator) -> None:
-        super().bind(simulator)
+    def bind(self, transport) -> None:
+        super().bind(transport)
         telemetry = self.telemetry
         # The manager mirrors its LedgerStats rejection counters to telemetry
         # once a registry is attached (stays None — zero overhead — otherwise).

@@ -180,6 +180,16 @@ class ZLBSystem:
         self.instances_requested = 0
 
     @property
+    def transport(self) -> NetworkSimulator:
+        """The deployment's transport backend (here always the simulator).
+
+        ``ZLBSystem`` drives simulated experiments, so the backend is the
+        discrete-event :class:`NetworkSimulator`; real-socket deployments are
+        assembled per process by :mod:`repro.cluster` instead.
+        """
+        return self.simulator
+
+    @property
     def telemetry(self) -> Optional[TelemetryRegistry]:
         """The run's telemetry registry (owned by the simulator), or None."""
         return self.simulator.telemetry

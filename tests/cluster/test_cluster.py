@@ -1,0 +1,214 @@
+"""Real-cluster backend tests: in-process committee plus subprocess smoke.
+
+The in-process tests boot a full n=4 ZLB committee on asyncio transports
+inside one event loop — real sockets, real codec frames, real wall-clock
+timers, no subprocesses — and drive the payment workload to full commit.
+The subprocess tests exercise ``python -m repro.cluster`` end to end,
+including crash detection and SIGTERM draining.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cluster.fixture import ClusterSpec, build_node, endpoints_for
+from repro.network.asyncio_transport import AsyncioTransport
+
+
+def _spec(tmp_path, **overrides):
+    defaults = dict(
+        n=4,
+        transport="uds",
+        transactions=40,
+        batch_size=10,
+        accounts=8,
+        seed=0,
+        socket_dir=str(tmp_path),
+        timeout=30.0,
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+class TestFixture:
+    def test_workers_rebuild_identical_genesis(self, tmp_path):
+        spec = _spec(tmp_path)
+        nodes = [build_node(spec, replica_id) for replica_id in spec.committee]
+        hashes = {
+            node.replica.blockchain.record.blocks[0].block_hash for node in nodes
+        }
+        assert len(hashes) == 1
+        assert len({node.conserved_baseline for node in nodes}) == 1
+
+    def test_workload_share_partitions_exactly(self, tmp_path):
+        spec = _spec(tmp_path)
+        nodes = [build_node(spec, replica_id) for replica_id in spec.committee]
+        all_ids = [tx.tx_id for node in nodes for tx in node.share]
+        assert len(all_ids) == spec.transactions
+        assert len(set(all_ids)) == spec.transactions
+
+    def test_cross_replica_signatures_verify(self, tmp_path):
+        spec = _spec(tmp_path)
+        node0 = build_node(spec, 0)
+        node1 = build_node(spec, 1)
+        # Replica 1 must accept transactions signed under replica 0's build.
+        for transaction in node0.share:
+            assert node1.replica.blockchain.submit_transaction(transaction)
+
+    def test_instances_needed_covers_largest_share(self, tmp_path):
+        assert _spec(tmp_path).instances_needed == 1
+        assert _spec(tmp_path, transactions=200, batch_size=10).instances_needed == 5
+        assert _spec(tmp_path, transactions=0).instances_needed == 0
+
+
+class TestInProcessCluster:
+    def test_uds_cluster_commits_whole_workload_zero_loss(self, tmp_path):
+        spec = _spec(tmp_path)
+
+        async def scenario():
+            transports, nodes = [], []
+            for replica_id in spec.committee:
+                node = build_node(spec, replica_id)
+                transport = AsyncioTransport(replica_id, endpoints_for(spec))
+                transport.add_process(node.replica)
+                await transport.start()
+                transports.append(transport)
+                nodes.append(node)
+            for transport in transports:
+                await transport.connect(timeout=10)
+            for node in nodes:
+                node.replica.submit_transactions(node.share)
+            for transport in transports:
+                transport.start_processes()
+            for node in nodes:
+                node.replica.submit_instances(node.instances_needed)
+
+            deadline = asyncio.get_running_loop().time() + spec.timeout
+            try:
+                while asyncio.get_running_loop().time() < deadline:
+                    done = all(
+                        node.replica.blockchain.transactions_committed
+                        >= node.total_transactions
+                        for node in nodes
+                    )
+                    if done:
+                        break
+                    for node in nodes:
+                        replica = node.replica
+                        if (
+                            replica.blockchain.transactions_committed
+                            < node.total_transactions
+                            and replica.next_instance >= replica.target_instances
+                            and len(replica.decided_instances())
+                            >= replica.target_instances
+                        ):
+                            replica.submit_instances(1)
+                    await asyncio.sleep(0.02)
+                for node in nodes:
+                    blockchain = node.replica.blockchain
+                    assert (
+                        blockchain.transactions_committed >= node.total_transactions
+                    )
+                    assert blockchain.conserved_total() == node.conserved_baseline
+                    assert blockchain.stats.commit_rejected == 0
+                # Every replica commits the same chain.
+                heights = {
+                    node.replica.blockchain.chain_height() for node in nodes
+                }
+                assert len(heights) == 1
+            finally:
+                for transport in transports:
+                    await transport.close()
+
+        asyncio.run(scenario())
+
+
+def _run_cluster_cli(args, timeout=120):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cluster", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+class TestClusterCLI:
+    def test_uds_smoke_commits_and_reports(self, tmp_path):
+        out_path = tmp_path / "cluster.json"
+        proc = _run_cluster_cli(
+            [
+                "--n", "4",
+                "--transport", "uds",
+                "--transactions", "40",
+                "--batch-size", "10",
+                "--timeout", "60",
+                "--json", str(out_path),
+            ]
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "zero-loss accounting: ok" in proc.stdout
+        result = json.loads(out_path.read_text())
+        assert result["ok"] is True
+        assert result["committed"] == 40
+        assert result["zero_loss"] is True
+        assert result["latency_p50_s"] > 0
+        assert result["latency_p99_s"] >= result["latency_p50_s"]
+        assert len(result["replicas"]) == 4
+        for report in result["replicas"].values():
+            assert report["status"] == "ok"
+            assert report["transport"]["messages_sent"] > 0
+            assert "counters" in report["telemetry"]
+
+    def test_killed_replica_is_detected_not_hung(self, tmp_path):
+        # Satellite: a killed replica must surface as a crash report (exit
+        # code + log line), never as a hang until the outer test timeout.
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cluster",
+                "--n", "4",
+                "--transport", "uds",
+                "--transactions", "4000",
+                "--batch-size", "10",
+                "--timeout", "90",
+                "--log-level", "error",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            # Give the cluster time to boot its workers, then kill one.
+            victim = None
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and victim is None:
+                pgrep = subprocess.run(
+                    ["pgrep", "-f", "repro.cluster.worker.*--replica-id 3"],
+                    capture_output=True,
+                    text=True,
+                )
+                pids = [int(p) for p in pgrep.stdout.split()]
+                if pids:
+                    victim = pids[0]
+                time.sleep(0.1)
+            assert victim is not None, "worker 3 never appeared"
+            os.kill(victim, signal.SIGKILL)
+            stdout, stderr = proc.communicate(timeout=120)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        assert proc.returncode != 0
+        assert "crashed" in stdout + stderr

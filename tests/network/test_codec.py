@@ -1,0 +1,289 @@
+"""Round-trip property tests for the wire codec.
+
+Every value a protocol body can carry — primitives, containers with exotic
+but legal shapes (int dict keys, tuples inside dicts), and every registered
+protocol object — must encode to bytes and decode back to an **equal** value,
+and decoded signed content must still verify against the same PKI.
+"""
+
+import pytest
+
+from repro.consensus.certificates import (
+    Certificate,
+    SignedVote,
+    VoteKind,
+    make_vote,
+    verify_vote,
+)
+from repro.consensus.host import SimpleHost
+from repro.consensus.proofs import ProofOfFraud
+from repro.crypto.hashing import hash_payload
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import SignedPayload
+from repro.ledger.block import Block, make_genesis_block
+from repro.ledger.transaction import TxInput, TxOutput
+from repro.ledger.workload import TransferWorkload
+from repro.network.codec import (
+    FRAME_HEADER_SIZE,
+    CodecError,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+    frame_message,
+    message_frame_size,
+    registered_kinds,
+)
+from repro.network.message import Message
+from repro.network.topic import Topic
+
+
+def roundtrip(value):
+    return decode_value(encode_value(value))
+
+
+class _RecordingTransport:
+    """Minimal transport double for building a SimpleHost."""
+
+    now = 0.0
+    telemetry = None
+    tracing = None
+
+    def broadcast(self, *args, **kwargs):
+        pass
+
+    def send_to(self, *args, **kwargs):
+        pass
+
+    def set_timer(self, delay, callback):
+        return 0
+
+
+def _provisioned_hosts(committee):
+    keys = KeyRegistry.provision(committee)
+    return keys, {
+        replica: SimpleHost(
+            replica_id=replica,
+            committee=committee,
+            signer=keys.signer_for(replica),
+            registry=keys.registry,
+            transport=_RecordingTransport(),
+        )
+        for replica in committee
+    }
+
+
+class TestPrimitivesAndContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**80,
+            -(2**80),
+            0.0,
+            -1.5,
+            3.141592653589793,
+            "",
+            "hello",
+            "uniçøde ☃",
+            b"",
+            b"\x00\xff" * 10,
+            [],
+            [1, 2, 3],
+            (),
+            (1, "two", 3.0),
+            {},
+            {"a": 1},
+        ],
+    )
+    def test_scalar_roundtrip(self, value):
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_int_dict_keys_survive(self):
+        # Protocol bodies key proposals and bitmasks by int slot; JSON-style
+        # stringification would corrupt them.
+        value = {0: "a", 1: [1, 2], -3: {"nested": (1, 2)}}
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert all(type(key) is int for key in decoded)
+
+    def test_tuple_list_distinction_preserved(self):
+        value = {"t": (1, 2), "l": [1, 2]}
+        decoded = roundtrip(value)
+        assert type(decoded["t"]) is tuple
+        assert type(decoded["l"]) is list
+
+    def test_bool_not_decoded_as_int(self):
+        decoded = roundtrip({"flag": True, "count": 1})
+        assert decoded["flag"] is True
+        assert type(decoded["count"]) is int
+
+    def test_truncated_buffer_raises(self):
+        data = encode_value({"key": "value"})
+        with pytest.raises(CodecError):
+            decode_value(data[:-3])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(CodecError):
+            decode_value(encode_value(7) + b"junk")
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+
+class TestRegisteredObjects:
+    def test_all_expected_kinds_registered(self):
+        assert registered_kinds() == [
+            "block",
+            "certificate",
+            "proof-of-fraud",
+            "signed-payload",
+            "signed-vote",
+            "transaction",
+            "tx-input",
+            "tx-output",
+        ]
+
+    def test_signed_payload_roundtrip(self):
+        keys, hosts = _provisioned_hosts([0, 1])
+        signed = hosts[0].sign({"x": 1})
+        decoded = roundtrip(signed)
+        assert decoded == signed
+        assert isinstance(decoded, SignedPayload)
+        assert hosts[1].verify({"x": 1}, decoded)
+
+    def test_signed_vote_roundtrip_and_verification(self):
+        keys, hosts = _provisioned_hosts([0, 1, 2])
+        vote = make_vote(hosts[0], "ctx", 3, VoteKind.AUX, "digest-abc")
+        decoded = roundtrip(vote)
+        assert decoded == vote
+        assert isinstance(decoded, SignedVote)
+        assert verify_vote(decoded, hosts[1])
+
+    def test_certificate_roundtrip_and_vote_verification(self):
+        keys, hosts = _provisioned_hosts([0, 1, 2])
+        votes = tuple(
+            make_vote(hosts[r], "ctx", 0, VoteKind.DECIDE, "digest-xyz")
+            for r in (0, 1, 2)
+        )
+        certificate = Certificate(
+            context="ctx", round=0, kind=VoteKind.DECIDE,
+            value_digest="digest-xyz", votes=votes,
+        )
+        decoded = roundtrip(certificate)
+        assert decoded == certificate
+        assert isinstance(decoded, Certificate)
+        assert all(verify_vote(vote, hosts[0]) for vote in decoded.votes)
+
+    def test_proof_of_fraud_roundtrip(self):
+        keys, hosts = _provisioned_hosts([0, 1, 2])
+        first = make_vote(hosts[2], "ctx", 1, VoteKind.AUX, hash_payload(0))
+        second = make_vote(hosts[2], "ctx", 1, VoteKind.AUX, hash_payload(1))
+        pof = ProofOfFraud(culprit=2, first=first, second=second)
+        decoded = roundtrip(pof)
+        assert decoded == pof
+        assert isinstance(decoded, ProofOfFraud)
+        assert decoded.is_well_formed()
+        assert verify_vote(decoded.first, hosts[0])
+        assert verify_vote(decoded.second, hosts[0])
+
+    def test_transaction_roundtrip_still_valid(self):
+        workload = TransferWorkload(num_accounts=4, seed=7)
+        transaction = workload.batch(1)[0]
+        decoded = roundtrip(transaction)
+        assert decoded == transaction
+        assert decoded.tx_id == transaction.tx_id
+        assert decoded.is_valid()
+
+    def test_tx_input_output_roundtrip(self):
+        tx_input = TxInput(utxo_id="u-1", account="alice", amount=7)
+        tx_output = TxOutput(account="bob", amount=7)
+        assert roundtrip(tx_input) == tx_input
+        assert roundtrip(tx_output) == tx_output
+
+    def test_block_roundtrip(self):
+        genesis, _ = make_genesis_block([("alice", 100), ("bob", 50)])
+        workload = TransferWorkload(num_accounts=4, seed=3)
+        block = Block(
+            index=1,
+            parent_hash=genesis.block_hash,
+            transactions=tuple(workload.batch(3)),
+            proposers=(0, 2),
+            timestamp=1.25,
+        )
+        decoded = roundtrip(block)
+        assert decoded == block
+        assert decoded.block_hash == block.block_hash
+
+
+class TestMessageEnvelopes:
+    def test_envelope_roundtrip_preserves_interned_topic(self):
+        workload = TransferWorkload(num_accounts=4, seed=1)
+        message = Message(
+            sender=3,
+            recipient=None,
+            protocol=Topic.of("sbc", 0, 5, "rbc", 2),
+            kind="INIT",
+            body={"proposal": workload.batch(2), "instance": 5},
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.sender == 3
+        assert decoded.recipient is None
+        assert decoded.topic is message.topic  # interning survives the wire
+        assert decoded.kind == "INIT"
+        assert decoded.body == message.body
+
+    def test_frame_is_header_plus_payload(self):
+        message = Message(sender=0, recipient=1, protocol="t", kind="K", body={})
+        frame = frame_message(message)
+        payload = encode_message(message)
+        assert frame[FRAME_HEADER_SIZE:] == payload
+        assert int.from_bytes(frame[:FRAME_HEADER_SIZE], "big") == len(payload)
+
+    def test_size_bytes_is_exact_frame_length(self):
+        # The Message.size_bytes satellite: telemetry byte counters report
+        # what the asyncio transport actually writes.
+        workload = TransferWorkload(num_accounts=4, seed=2)
+        message = Message(
+            sender=1,
+            recipient=None,
+            protocol=Topic.of("sbc", 0, 0, "rbc", 1),
+            kind="INIT",
+            body={"proposal": workload.batch(2)},
+        )
+        assert message.size_bytes() == len(frame_message(message))
+        assert message.size_bytes() == message_frame_size(message)
+
+    def test_size_bytes_falls_back_for_unencodable_bodies(self):
+        class Alien:
+            pass
+
+        message = Message(
+            sender=0, recipient=1, protocol="t", kind="K", body={"x": Alien()}
+        )
+        assert message.size_bytes() > 0  # estimate fallback, no raise
+
+    def test_protocol_shaped_body_roundtrip(self):
+        # The CONFIRM/POFS body shapes: int-keyed proposal maps, digests,
+        # nested lists — everything the SBC layer actually puts on the wire.
+        workload = TransferWorkload(num_accounts=4, seed=5)
+        message = Message(
+            sender=0,
+            recipient=2,
+            protocol=Topic.of("sbc", 0, 1, "confirm"),
+            kind="CONFIRM",
+            body={
+                "instance": 1,
+                "proposals": {0: [tx.tx_id for tx in workload.batch(2)]},
+                "digest": hash_payload({"any": "thing"}),
+            },
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.body == message.body
