@@ -11,17 +11,25 @@ The package splits into:
 * :mod:`repro.cluster.fixture` — deterministic per-process reconstruction of
   the deployment (keys, genesis, workload shares) so every worker builds the
   byte-identical genesis without any coordination traffic.
-* :mod:`repro.cluster.worker` — the per-replica subprocess entry point.
+* :mod:`repro.cluster.protocol` — the worker↔launcher JSON-lines protocol
+  (ready/connected/obs/report frames, epoch offsets).
+* :mod:`repro.cluster.worker` — the per-replica subprocess entry point; with
+  ``--obs`` it activates tracing + sampling and streams live obs frames.
+* :mod:`repro.cluster.watch` — launcher-side aggregation plane: live
+  dashboard, Prometheus/JSON serve surface, cross-replica invariant
+  monitors, causal flight-dump and trace merging.
 * :mod:`repro.cluster.launcher` — spawns workers, watches for crashes,
-  aggregates their reports.
+  aggregates their reports and writes the forensics artifacts.
 """
 
 from repro.cluster.fixture import ClusterSpec, build_node, endpoints_for
 from repro.cluster.launcher import ClusterResult, run_cluster
+from repro.cluster.watch import ClusterWatcher
 
 __all__ = [
     "ClusterSpec",
     "ClusterResult",
+    "ClusterWatcher",
     "build_node",
     "endpoints_for",
     "run_cluster",

@@ -6,9 +6,21 @@ Example::
         --transactions 200 --batch-size 50
 
 prints wall-clock throughput and p50/p99 time-to-commit measured across the
-whole committee, and exits non-zero if any replica crashed, timed out or
-violated zero-loss accounting.  ``--json`` writes the full machine-readable
-result (per-replica reports and telemetry snapshots included).
+whole committee, and exits non-zero if any replica crashed, timed out,
+violated zero-loss accounting or tripped an online invariant monitor.
+
+Observability flags:
+
+* ``--obs`` — activate the tracing/sampling stack in every worker; workers
+  stream live obs frames and ship their spans for the merged cluster trace.
+* ``--watch`` — live per-replica dashboard on stderr (in-place on a TTY).
+* ``--serve PORT`` — loopback HTTP endpoint with Prometheus ``/metrics`` and
+  JSON ``/state`` (implies nothing else; combine with ``--obs`` for the full
+  per-replica series).
+* ``--artifacts DIR`` — where the merged Chrome trace (always, with
+  ``--obs``) and the crash/violation flight dump get written.
+* ``--json PATH`` writes the compact machine-readable result;
+  ``--json-full`` switches it to the exhaustive per-replica reports.
 """
 
 from __future__ import annotations
@@ -55,7 +67,35 @@ def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
         "--timeout", type=float, default=60.0, help="wall-clock budget in seconds"
     )
     parser.add_argument(
-        "--json", default=None, help="write the full JSON result to this path"
+        "--obs",
+        action="store_true",
+        help="activate cross-process tracing, sampling and invariant monitors",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="live per-replica dashboard on stderr",
+    )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="loopback HTTP endpoint (/metrics, /state); 0 picks a free port",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="directory for the merged trace / flight-dump artifacts",
+    )
+    parser.add_argument(
+        "--json", default=None, help="write the compact JSON result to this path"
+    )
+    parser.add_argument(
+        "--json-full",
+        action="store_true",
+        help="make --json exhaustive (full per-replica reports)",
     )
     parser.add_argument("--log-level", default=None, help="e.g. info, debug")
     return parser.parse_args(argv)
@@ -73,13 +113,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         base_port=args.base_port,
         timeout=args.timeout,
+        obs=args.obs,
     )
-    result = run_cluster(spec)
+    result = run_cluster(
+        spec,
+        watch=args.watch,
+        serve_port=args.serve,
+        artifacts_dir=args.artifacts,
+    )
 
     print(
         f"cluster n={spec.n} transport={spec.transport} "
         f"transactions={result.total_transactions} "
         f"batch={spec.batch_size} seed={spec.seed}"
+        + (" obs" if spec.obs else "")
     )
     print(
         f"  committed {result.committed}/{result.total_transactions} "
@@ -92,16 +139,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"p99 {result.latency_p99_s * 1000:.1f}ms"
         )
     print(f"  zero-loss accounting: {'ok' if result.zero_loss else 'VIOLATED'}")
+    if result.obs_frames:
+        print(f"  obs frames received: {result.obs_frames}")
+    for violation in result.violations:
+        print(
+            f"  INVARIANT VIOLATION [{violation.get('invariant')}] "
+            f"{violation.get('detail')}"
+        )
     for replica_id, code in sorted(result.crashes.items()):
         print(f"  replica {replica_id} crashed (exit code {code})")
     for replica_id, report in sorted(result.reports.items()):
         if report["status"] != "ok":
             print(f"  replica {replica_id} finished with status {report['status']}")
+    if result.trace_dump:
+        print(f"  merged cluster trace: {result.trace_dump}")
+    if result.flight_dump:
+        print(f"  merged flight dump: {result.flight_dump}")
     print(f"  result: {'OK' if result.ok else 'FAILED'}")
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            json.dump(
+                result.to_json(full=args.json_full),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
         print(f"  wrote {args.json}")
     return 0 if result.ok else 1
 

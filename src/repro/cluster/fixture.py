@@ -52,6 +52,10 @@ class ClusterSpec:
         base_port: first TCP port; replica ``i`` listens on ``base_port + i``
             (``tcp`` only).
         timeout: per-worker wall-clock budget in seconds.
+        obs: activate the observability stack in every worker (tracing +
+            streaming sampler + invariant monitors) and stream periodic obs
+            frames to the launcher.  Strictly observational: the committed
+            chain of a given seed is identical with ``obs`` on or off.
     """
 
     n: int = 4
@@ -63,6 +67,7 @@ class ClusterSpec:
     socket_dir: str = ""
     base_port: int = 0
     timeout: float = 60.0
+    obs: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

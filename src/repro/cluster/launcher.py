@@ -1,9 +1,20 @@
 """The cluster launcher: spawn workers, watch them, aggregate their reports.
 
 :func:`run_cluster` boots one OS process per replica (``python -m
-repro.cluster.worker``), tails each worker's stdout for its one-line-JSON
-report, and folds the per-replica results into a :class:`ClusterResult` with
-cluster-wide throughput and p50/p99 wall-clock time-to-commit.
+repro.cluster.worker``), tails each worker's stdout for protocol frames
+(:mod:`repro.cluster.protocol`), and folds the per-replica results into a
+:class:`ClusterResult` with cluster-wide throughput and p50/p99 wall-clock
+time-to-commit.
+
+Every frame also feeds the :class:`~repro.cluster.watch.ClusterWatcher`
+aggregation plane: a live in-place dashboard (``watch=True``), a loopback
+HTTP endpoint serving Prometheus ``/metrics`` and JSON ``/state``
+(``serve_port=``), the cross-replica commit-agreement monitor, and the
+crash-forensics store (flight-ring increments + epoch offsets).  With
+``spec.obs`` and an ``artifacts_dir``, the launcher writes a causally merged
+Chrome trace of the whole cluster after the run — and, on any crash or
+invariant violation, a merged flight dump whose timeline includes the dead
+worker's last shipped events.
 
 Failure handling is explicit rather than hopeful:
 
@@ -12,14 +23,17 @@ Failure handling is explicit rather than hopeful:
   a dead replica;
 * on overall timeout or operator interrupt every surviving worker gets
   ``SIGTERM`` and a grace period to drain (workers report ``"terminated"``
-  and exit 0), then ``SIGKILL``.
+  and exit 0), then ``SIGKILL``;
+* a worker that merely *stalls* degrades its dashboard row (frame age
+  climbing, status ``stalled``) while the rest of the plane keeps refreshing
+  — the watcher drains its queue with a timeout, never a blocking read.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
+import queue as queue_mod
 import socket
 import subprocess
 import sys
@@ -29,13 +43,19 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import summarize_latencies
+from repro.cluster import protocol as wire
 from repro.cluster.fixture import ClusterSpec
+from repro.cluster.watch import ClusterWatcher
 from repro.common.logging import get_logger
 
 log = get_logger("repro.cluster")
 
 #: Seconds a SIGTERM'd worker gets to drain before SIGKILL.
 TERM_GRACE_S = 5.0
+
+#: Artifact file names under ``artifacts_dir``.
+TRACE_ARTIFACT = "cluster-trace.json"
+FLIGHT_ARTIFACT = "cluster-flight.jsonl"
 
 
 @dataclasses.dataclass
@@ -70,25 +90,83 @@ class ClusterResult:
     zero_loss: bool
     crashes: Dict[int, int]  # replica id -> exit code
     reports: Dict[int, Dict[str, Any]]
+    #: Invariant violations (worker-local monitors + launcher agreement).
+    violations: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Obs frames received across all workers (0 in a no-obs run).
+    obs_frames: int = 0
+    #: Paths of written artifacts (None when not written).
+    trace_dump: Optional[str] = None
+    flight_dump: Optional[str] = None
+    #: Bound port of the live HTTP endpoint, if one was served.
+    serve_port: Optional[int] = None
 
-    def to_json(self) -> Dict[str, Any]:
-        """JSON-serialisable summary (worker telemetry snapshots included)."""
-        return {
+    def to_json(self, full: bool = False) -> Dict[str, Any]:
+        """JSON-serialisable summary.
+
+        The default is the *compact* form committed as ``BENCH_cluster.json``:
+        cluster aggregates plus per-replica counters — no raw latency arrays,
+        no telemetry snapshots, no span sets (those can run to megabytes; the
+        artifacts directory is where the big forensics files go).  ``full``
+        restores the exhaustive per-replica reports.
+        """
+        payload: Dict[str, Any] = {
             "ok": self.ok,
             "n": self.spec.n,
             "transport": self.spec.transport,
             "transactions": self.total_transactions,
             "batch_size": self.spec.batch_size,
             "seed": self.spec.seed,
+            "obs": self.spec.obs,
             "duration_s": self.duration_s,
             "committed": self.committed,
             "throughput_tx_per_s": self.throughput_tx_per_s,
             "latency_p50_s": self.latency_p50_s,
             "latency_p99_s": self.latency_p99_s,
             "zero_loss": self.zero_loss,
+            "obs_frames": self.obs_frames,
+            "violations": list(self.violations),
             "crashes": {str(rid): code for rid, code in self.crashes.items()},
-            "replicas": {str(rid): report for rid, report in self.reports.items()},
         }
+        if full:
+            payload["replicas"] = {
+                str(rid): report for rid, report in self.reports.items()
+            }
+        else:
+            payload["replicas"] = {
+                str(rid): _compact_report(report)
+                for rid, report in self.reports.items()
+            }
+        return payload
+
+
+def _compact_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-replica counters only: drop raw latency arrays, telemetry and spans."""
+    latencies = report.get("commit_latencies_s") or []
+    summary = summarize_latencies(latencies)
+    compact = {
+        key: report[key]
+        for key in (
+            "status",
+            "accepted",
+            "committed",
+            "total_transactions",
+            "blocks",
+            "duration_s",
+            "conserved_ok",
+            "commit_rejected",
+            "transport",
+            "chain",
+        )
+        if key in report
+    }
+    compact["latency_count"] = len(latencies)
+    compact["latency_p50_s"] = summary.get("p50") if latencies else None
+    compact["latency_p99_s"] = summary.get("p99") if latencies else None
+    obs = report.get("obs")
+    if isinstance(obs, dict):
+        compact["obs_frames_sent"] = obs.get("frames_sent")
+        compact["spans"] = len(obs.get("spans") or ())
+    return compact
 
 
 def _free_tcp_port() -> int:
@@ -120,7 +198,7 @@ def _is_free(port: int) -> bool:
 
 
 def _worker_argv(spec: ClusterSpec, replica_id: int) -> List[str]:
-    return [
+    argv = [
         sys.executable,
         "-m",
         "repro.cluster.worker",
@@ -145,25 +223,30 @@ def _worker_argv(spec: ClusterSpec, replica_id: int) -> List[str]:
         "--timeout",
         str(spec.timeout),
     ]
+    if spec.obs:
+        argv.append("--obs")
+    return argv
 
 
-def _collect_stdout(handle: WorkerHandle) -> None:
+def _collect_stdout(handle: WorkerHandle, frames: "queue_mod.Queue") -> None:
     stream = handle.process.stdout
     if stream is None:
         return
     for line in stream:
-        line = line.strip()
-        if not line:
+        payload = wire.parse_line(line)
+        if payload is None:
+            if line.strip():
+                handle.stderr_tail.append(line.strip())
             continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError:
-            handle.stderr_tail.append(line)
-            continue
-        if payload.get("event") == "ready":
+        event = payload.get("event")
+        if event == wire.EVENT_READY:
             handle.ready = True
-        elif payload.get("event") == "report":
+        elif event == wire.EVENT_REPORT:
             handle.report = payload
+        try:
+            frames.put_nowait(payload)
+        except Exception:  # noqa: BLE001 - obs must never block the collector
+            pass
 
 
 def _collect_stderr(handle: WorkerHandle) -> None:
@@ -189,8 +272,26 @@ def _terminate(handles: List[WorkerHandle]) -> None:
             handle.process.wait()
 
 
-def run_cluster(spec: ClusterSpec) -> ClusterResult:
-    """Boot the cluster described by ``spec``, wait for it, aggregate results."""
+def run_cluster(
+    spec: ClusterSpec,
+    watch: bool = False,
+    serve_port: Optional[int] = None,
+    artifacts_dir: Optional[str] = None,
+) -> ClusterResult:
+    """Boot the cluster described by ``spec``, wait for it, aggregate results.
+
+    Args:
+        spec: the deterministic deployment description.
+        watch: render the live per-replica dashboard to stderr (in-place on
+            a TTY, periodic lines otherwise).
+        serve_port: bind a loopback HTTP endpoint on this port (0 picks an
+            ephemeral one; see ``ClusterResult.serve_port``) serving the live
+            state as Prometheus ``/metrics`` and JSON ``/state``.
+        artifacts_dir: directory for forensics artifacts.  With ``spec.obs``
+            the merged cluster Chrome trace is always written there; the
+            merged flight dump is written on any crash or invariant
+            violation.
+    """
     cleanup_dir: Optional[tempfile.TemporaryDirectory] = None
     if spec.transport == "uds" and not spec.socket_dir:
         cleanup_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
@@ -204,6 +305,21 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
     env["PYTHONPATH"] = (
         src_root if not existing else src_root + os.pathsep + existing
     )
+
+    watcher = ClusterWatcher(
+        n=spec.n, total_transactions=spec.transactions, render=watch
+    )
+    frames: "queue_mod.Queue" = queue_mod.Queue()
+    watcher.start(frames)
+    server = None
+    bound_port: Optional[int] = None
+    if serve_port is not None:
+        from repro.obs.serve import WatchServer
+
+        server = WatchServer(watcher, serve_port)
+        server.start()
+        bound_port = server.port
+        log.info("cluster obs endpoint on http://127.0.0.1:%d", bound_port)
 
     handles: List[WorkerHandle] = []
     threads: List[threading.Thread] = []
@@ -219,10 +335,16 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
             )
             handle = WorkerHandle(replica_id=replica_id, process=process)
             handles.append(handle)
-            for target in (_collect_stdout, _collect_stderr):
-                thread = threading.Thread(target=target, args=(handle,), daemon=True)
-                thread.start()
-                threads.append(thread)
+            thread = threading.Thread(
+                target=_collect_stdout, args=(handle, frames), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+            thread = threading.Thread(
+                target=_collect_stderr, args=(handle,), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
 
         # Wait until every worker exits, a worker crashes, or the overall
         # budget runs out.  Workers self-terminate once their chain holds the
@@ -245,6 +367,9 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
                             else ""
                         ),
                     )
+                    watcher.note_crash(
+                        handle.replica_id, handle.process.returncode
+                    )
                 _terminate(handles)
                 break
             time.sleep(0.05)
@@ -259,6 +384,9 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         _terminate(handles)
         raise
     finally:
+        watcher.finish()
+        if server is not None:
+            server.stop()
         if cleanup_dir is not None:
             cleanup_dir.cleanup()
     duration = time.monotonic() - started_at
@@ -288,13 +416,35 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         report["conserved_ok"] and report["commit_rejected"] == 0
         for report in reports.values()
     )
+    violations = list(watcher.violations)
     ok = (
         not crashes
+        and not violations
         and len(reports) == spec.n
         and committed >= total
         and zero_loss
         and all(report["status"] == "ok" for report in reports.values())
     )
+
+    trace_dump = flight_dump = None
+    if artifacts_dir is not None and spec.obs:
+        os.makedirs(artifacts_dir, exist_ok=True)
+        trace_dump = watcher.write_chrome_trace(
+            os.path.join(artifacts_dir, TRACE_ARTIFACT)
+        )
+        log.info("merged cluster trace written to %s", trace_dump)
+        if crashes or violations:
+            flight_dump = watcher.write_flight_dump(
+                os.path.join(artifacts_dir, FLIGHT_ARTIFACT)
+            )
+            log.error(
+                "crash/violation forensics: merged flight dump at %s "
+                "(%d crash(es), %d violation(s))",
+                flight_dump,
+                len(crashes),
+                len(violations),
+            )
+
     return ClusterResult(
         ok=ok,
         spec=spec,
@@ -307,4 +457,9 @@ def run_cluster(spec: ClusterSpec) -> ClusterResult:
         zero_loss=zero_loss,
         crashes=crashes,
         reports=reports,
+        violations=violations,
+        obs_frames=watcher.obs_frames,
+        trace_dump=trace_dump,
+        flight_dump=flight_dump,
+        serve_port=bound_port,
     )

@@ -1,0 +1,511 @@
+"""Launcher-side aggregation plane: live dashboard, monitors, forensics.
+
+:class:`ClusterWatcher` is the single sink for every protocol frame the
+collector threads parse off worker stdout.  It folds them into three views:
+
+* a **live dashboard** — one row per replica (status, connected peers,
+  committed, tx/s, sliding p99 time-to-commit, mempool depth, age of the
+  last obs frame), redrawn in place on a TTY exactly like the sweep watcher;
+* **serve state** — :meth:`state` (JSON) and :meth:`prometheus_text`
+  (Prometheus text format), the duck-typed surface
+  :class:`repro.obs.serve.WatchServer` publishes over loopback HTTP;
+* **forensics** — per-worker flight-ring increments and epoch offsets
+  accumulated as they stream in, plus per-worker spans/events from final
+  reports, causally merged onto one shared cluster clock for the flight dump
+  and the Chrome trace artifact.
+
+The drain loop follows the sweep watcher's robustness rule: frames arrive
+through a queue read with a short timeout, and every timeout still refreshes
+the rendering, so a wedged or killed worker stalls *its row* (age climbing,
+status degraded) instead of freezing the dashboard.  A SIGKILL'd worker's
+already-shipped ring increments stay in the watcher — its last causal events
+survive it, which is the whole point of crash forensics.
+
+The watcher also runs the launcher-level online invariant monitor that no
+single worker can check: **cross-replica commit agreement**.  Workers attach
+per-instance block digests to their obs frames; the first instance where two
+replicas disagree raises a violation (safety, not liveness — lag is fine,
+conflicting commits are not).  Worker-local monitors (zero-loss accounting,
+supply conservation) stream their violations in the same frames and are
+aggregated here with replica attribution.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Any, Deque, Dict, List, Optional, TextIO
+
+from repro.cluster import protocol as wire
+from repro.tracing.recorder import merge_worker_events
+
+#: Flight events retained per replica at the launcher (newest kept).  Workers
+#: ship bounded increments; this bounds the launcher against long runs.
+FLIGHT_RETAIN_PER_REPLICA = 4096
+
+#: An obs-enabled replica whose last frame is older than this many seconds is
+#: rendered as stalled (its process may still be alive — the row degrades,
+#: the dashboard keeps refreshing).
+STALL_AFTER_S = 2.0
+
+
+class ReplicaRow:
+    """Latest known state of one replica, as seen from its frames."""
+
+    __slots__ = (
+        "replica_id",
+        "status",
+        "peers",
+        "committed",
+        "total",
+        "blocks",
+        "tx_per_s",
+        "events_per_sec",
+        "mempool",
+        "latency",
+        "frames",
+        "spans",
+        "violations",
+        "last_frame_wall",
+    )
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+        self.status = "starting"
+        self.peers = 0
+        self.committed = 0
+        self.total: Optional[int] = None
+        self.blocks = 0
+        self.tx_per_s = 0.0
+        self.events_per_sec = 0.0
+        self.mempool = 0
+        self.latency: Dict[str, float] = {}
+        self.frames = 0
+        self.spans = 0
+        self.violations = 0
+        self.last_frame_wall: Optional[float] = None
+
+    def frame_age_s(self) -> Optional[float]:
+        """Seconds since this replica's last obs frame (None before the first)."""
+        if self.last_frame_wall is None:
+            return None
+        return perf_counter() - self.last_frame_wall
+
+    def stalled(self) -> bool:
+        age = self.frame_age_s()
+        return (
+            age is not None
+            and age > STALL_AFTER_S
+            and self.status not in ("done", "crashed", "terminated")
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "replica_id": self.replica_id,
+            "status": self.status,
+            "peers": self.peers,
+            "committed": self.committed,
+            "total": self.total,
+            "blocks": self.blocks,
+            "tx_per_s": self.tx_per_s,
+            "events_per_sec": self.events_per_sec,
+            "mempool": self.mempool,
+            "latency": dict(self.latency),
+            "frames": self.frames,
+            "spans": self.spans,
+            "violations": self.violations,
+            "frame_age_s": self.frame_age_s(),
+            "stalled": self.stalled(),
+        }
+
+
+class ClusterWatcher:
+    """Aggregates worker protocol frames; renders, serves and merges them."""
+
+    def __init__(
+        self,
+        n: int,
+        total_transactions: int = 0,
+        out: Optional[TextIO] = None,
+        render: bool = False,
+        refresh_s: float = 0.5,
+        poll_s: float = 0.2,
+    ) -> None:
+        self.n = n
+        self.total_transactions = total_transactions
+        self.out = out if out is not None else sys.stderr
+        self.render_enabled = render
+        self.refresh_s = refresh_s
+        self.poll_s = poll_s
+        self.rows: Dict[int, ReplicaRow] = {
+            replica_id: ReplicaRow(replica_id) for replica_id in range(n)
+        }
+        #: Launcher-detected + worker-reported invariant violations.
+        self.violations: List[Dict[str, Any]] = []
+        self.obs_frames = 0
+        self._epoch_offsets: Dict[int, float] = {}
+        self._flight: Dict[int, Deque[Dict[str, Any]]] = {}
+        self._report_obs: Dict[int, Dict[str, Any]] = {}
+        #: instance -> {replica_id: block digest} for the agreement monitor.
+        self._digests: Dict[int, Dict[int, str]] = {}
+        self._disagreed: set = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_render = 0.0
+        self._rendered_lines = 0
+        self._isatty = bool(getattr(self.out, "isatty", lambda: False)())
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest(self, frame: Dict[str, Any]) -> None:
+        """Fold one protocol frame into the aggregate state (thread-safe)."""
+        event = frame.get("event")
+        replica_id = frame.get("replica_id")
+        if not isinstance(replica_id, int):
+            return
+        with self._lock:
+            row = self.rows.get(replica_id)
+            if row is None:
+                row = self.rows[replica_id] = ReplicaRow(replica_id)
+            if event == wire.EVENT_READY:
+                row.status = "ready"
+                offset = frame.get("epoch_offset")
+                if isinstance(offset, (int, float)):
+                    self._epoch_offsets[replica_id] = float(offset)
+            elif event == wire.EVENT_CONNECTED:
+                row.status = "connected"
+                row.peers = len(frame.get("peers") or ())
+            elif event == wire.EVENT_OBS:
+                self._ingest_obs(row, frame)
+            elif event == wire.EVENT_REPORT:
+                self._ingest_report(row, frame)
+        self._maybe_render()
+
+    def _ingest_obs(self, row: ReplicaRow, frame: Dict[str, Any]) -> None:
+        replica_id = row.replica_id
+        self.obs_frames += 1
+        row.frames += 1
+        row.last_frame_wall = perf_counter()
+        if row.status in ("starting", "ready", "connected"):
+            row.status = "running"
+        row.committed = int(frame.get("committed") or 0)
+        row.blocks = int(frame.get("blocks") or 0)
+        row.tx_per_s = float(frame.get("tx_per_s") or 0.0)
+        row.events_per_sec = float(frame.get("events_per_sec") or 0.0)
+        row.mempool = int(frame.get("mempool") or 0)
+        row.peers = int(frame.get("peers") or row.peers)
+        row.spans = int(frame.get("spans") or row.spans)
+        latency = frame.get("commit_latency")
+        if isinstance(latency, dict) and latency:
+            row.latency = {key: float(value) for key, value in latency.items()}
+        for violation in frame.get("violations") or ():
+            row.violations += 1
+            record = dict(violation)
+            record["replica_id"] = replica_id
+            self.violations.append(record)
+        ring = frame.get("ring") or ()
+        if ring:
+            buffer = self._flight.get(replica_id)
+            if buffer is None:
+                buffer = self._flight[replica_id] = deque(
+                    maxlen=FLIGHT_RETAIN_PER_REPLICA
+                )
+            buffer.extend(ring)
+        commits = frame.get("commits")
+        if isinstance(commits, dict):
+            self._check_agreement(replica_id, commits)
+
+    def _check_agreement(self, replica_id: int, commits: Dict[str, str]) -> None:
+        """Cross-replica commit agreement: same instance ⇒ same block digest."""
+        for instance_key, digest in commits.items():
+            try:
+                instance = int(instance_key)
+            except (TypeError, ValueError):
+                continue
+            seen = self._digests.setdefault(instance, {})
+            seen[replica_id] = digest
+            if instance in self._disagreed:
+                continue
+            distinct = set(seen.values())
+            if len(distinct) > 1:
+                self._disagreed.add(instance)
+                self.violations.append(
+                    {
+                        "invariant": "commit-agreement",
+                        "replica_id": replica_id,
+                        "instance": instance,
+                        "detail": (
+                            f"instance {instance} committed with conflicting "
+                            f"digests across replicas: "
+                            + ", ".join(
+                                f"r{rid}={seen[rid][:12]}" for rid in sorted(seen)
+                            )
+                        ),
+                    }
+                )
+
+    def _ingest_report(self, row: ReplicaRow, frame: Dict[str, Any]) -> None:
+        replica_id = row.replica_id
+        status = frame.get("status")
+        row.status = "done" if status == "ok" else str(status)
+        row.committed = int(frame.get("committed") or row.committed)
+        row.total = int(frame.get("total_transactions") or 0) or row.total
+        row.blocks = int(frame.get("blocks") or row.blocks)
+        offset = frame.get("epoch_offset")
+        if isinstance(offset, (int, float)):
+            self._epoch_offsets[replica_id] = float(offset)
+        obs = frame.get("obs")
+        if isinstance(obs, dict):
+            self._report_obs[replica_id] = obs
+            monitors = obs.get("monitors")
+            if isinstance(monitors, dict):
+                for violation in monitors.get("violations") or ():
+                    record = dict(violation)
+                    record["replica_id"] = replica_id
+                    if record not in self.violations:
+                        row.violations += 1
+                        self.violations.append(record)
+
+    def note_crash(self, replica_id: int, exit_code: Any) -> None:
+        """Mark a replica that exited without a report (collector-thread safe)."""
+        with self._lock:
+            row = self.rows.get(replica_id)
+            if row is None:
+                row = self.rows[replica_id] = ReplicaRow(replica_id)
+            row.status = "crashed"
+        self._maybe_render()
+
+    # -- queue pump ------------------------------------------------------------
+
+    def start(self, queue: Any) -> None:
+        """Drain ``queue`` on a daemon thread until :meth:`finish`."""
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._pump, args=(queue,), name="cluster-watch", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self, queue: Any) -> None:
+        import queue as queue_mod
+
+        while True:
+            try:
+                frame = queue.get(timeout=self.poll_s)
+            except queue_mod.Empty:
+                # No frame is still news: ages climb, stalled rows degrade.
+                self._maybe_render()
+                if self._stop.is_set():
+                    return
+                continue
+            except (OSError, EOFError, ValueError):
+                return
+            self.ingest(frame)
+
+    def finish(self) -> None:
+        """Stop the pump after a final drain pass and render the end state."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(self.poll_s * 10, 2.0))
+            self._thread = None
+        if self.render_enabled:
+            self.render(force=True)
+
+    # -- rendering -------------------------------------------------------------
+
+    def _maybe_render(self) -> None:
+        if not self.render_enabled:
+            return
+        if perf_counter() - self._last_render >= self.refresh_s:
+            self.render()
+
+    def render(self, force: bool = False) -> None:
+        now = perf_counter()
+        if not force and now - self._last_render < self.refresh_s:
+            return
+        self._last_render = now
+        with self._lock:
+            lines = self._table_lines()
+        if self._isatty:
+            if self._rendered_lines:
+                self.out.write(f"\x1b[{self._rendered_lines}F\x1b[J")
+            self.out.write("\n".join(lines) + "\n")
+            self._rendered_lines = len(lines)
+        else:
+            for line in lines:
+                self.out.write(line + "\n")
+        self.out.flush()
+
+    def _table_lines(self) -> List[str]:
+        committed = min(
+            (row.committed for row in self.rows.values()), default=0
+        )
+        total = self.total_transactions or max(
+            (row.total or 0 for row in self.rows.values()), default=0
+        )
+        header = f"cluster: {committed}/{total} tx committed everywhere"
+        if self.violations:
+            header += f"  !! {len(self.violations)} violation(s)"
+        lines = [
+            header,
+            (
+                f"  {'replica':<8} {'status':<11} {'peers':>5} {'tx':>7} "
+                f"{'tx/s':>8} {'p99(ms)':>8} {'mempool':>8} {'age':>6}"
+            ),
+        ]
+        for replica_id in sorted(self.rows):
+            row = self.rows[replica_id]
+            p99 = row.latency.get("p99")
+            p99_text = f"{p99 * 1000.0:7.1f}" if p99 is not None else "     --"
+            age = row.frame_age_s()
+            age_text = f"{age:5.1f}s" if age is not None else "    --"
+            status = "stalled" if row.stalled() else row.status
+            lines.append(
+                f"  {replica_id:<8} {status:<11} {row.peers:>5} "
+                f"{row.committed:>7} {row.tx_per_s:>8.1f} {p99_text:>8} "
+                f"{row.mempool:>8} {age_text:>6}"
+            )
+        return lines
+
+    # -- serve surface (WatchServer reads these) -------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "n": self.n,
+                "total_transactions": self.total_transactions,
+                "obs_frames": self.obs_frames,
+                "violations": list(self.violations),
+                "replicas": [
+                    self.rows[replica_id].to_dict()
+                    for replica_id in sorted(self.rows)
+                ],
+            }
+
+    def prometheus_text(self) -> str:
+        """Prometheus text-format gauges of the live cluster state."""
+        state = self.state()
+        lines = [
+            "# TYPE repro_cluster_replicas gauge",
+            f"repro_cluster_replicas {state['n']}",
+            "# TYPE repro_cluster_obs_frames_total counter",
+            f"repro_cluster_obs_frames_total {state['obs_frames']}",
+            "# TYPE repro_cluster_violations_total counter",
+            f"repro_cluster_violations_total {len(state['violations'])}",
+            "# TYPE repro_cluster_replica_committed_total counter",
+            "# TYPE repro_cluster_replica_tx_per_s gauge",
+            "# TYPE repro_cluster_replica_peers gauge",
+            "# TYPE repro_cluster_replica_mempool gauge",
+            "# TYPE repro_cluster_commit_latency_seconds gauge",
+            "# TYPE repro_cluster_replica_frame_age_seconds gauge",
+        ]
+        for row in state["replicas"]:
+            label = f'replica="{row["replica_id"]}"'
+            lines.append(
+                f"repro_cluster_replica_committed_total{{{label}}} "
+                f"{row['committed']}"
+            )
+            lines.append(
+                f"repro_cluster_replica_tx_per_s{{{label}}} "
+                f"{row['tx_per_s']:.3f}"
+            )
+            lines.append(f"repro_cluster_replica_peers{{{label}}} {row['peers']}")
+            lines.append(
+                f"repro_cluster_replica_mempool{{{label}}} {row['mempool']}"
+            )
+            for quantile, value in sorted(row["latency"].items()):
+                lines.append(
+                    f"repro_cluster_commit_latency_seconds"
+                    f'{{{label},quantile="{quantile}"}} {value:.6f}'
+                )
+            age = row["frame_age_s"]
+            if age is not None:
+                lines.append(
+                    f"repro_cluster_replica_frame_age_seconds{{{label}}} "
+                    f"{age:.3f}"
+                )
+        return "\n".join(lines) + "\n"
+
+    # -- forensics: causal merge across workers --------------------------------
+
+    def merged_flight_events(self) -> List[Dict[str, Any]]:
+        """Every worker's flight-ring events on one shared cluster clock.
+
+        Includes events from workers that later died: increments shipped in
+        obs frames survive their sender.  Ordering is ``(t_cluster, worker,
+        seq)`` — wall-clock alignment via each worker's epoch offset, then
+        per-worker record order.
+        """
+        with self._lock:
+            events_by_worker = {
+                replica_id: list(buffer)
+                for replica_id, buffer in self._flight.items()
+            }
+            offsets = dict(self._epoch_offsets)
+        return merge_worker_events(events_by_worker, offsets)
+
+    def merged_spans(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Per-worker report spans/events mapped onto the cluster clock.
+
+        Returns ``{"spans": [...], "events": [...]}`` with ``start``/``end``
+        (spans) and ``t`` (events) shifted by each worker's epoch offset and
+        normalised so the earliest point is zero — the shape
+        :func:`repro.tracing.export.chrome_trace_from_records` consumes.
+        """
+        with self._lock:
+            report_obs = {
+                replica_id: obs for replica_id, obs in self._report_obs.items()
+            }
+            offsets = dict(self._epoch_offsets)
+        spans: List[Dict[str, Any]] = []
+        events: List[Dict[str, Any]] = []
+        for replica_id, obs in report_obs.items():
+            offset = offsets.get(replica_id, 0.0)
+            for span in obs.get("spans") or ():
+                shifted = dict(span)
+                shifted["start"] = span["start"] + offset
+                if span.get("end") is not None:
+                    shifted["end"] = span["end"] + offset
+                spans.append(shifted)
+            for event in obs.get("events") or ():
+                shifted = dict(event)
+                shifted["t"] = event["t"] + offset
+                events.append(shifted)
+        base = min(
+            [span["start"] for span in spans] + [event["t"] for event in events],
+            default=0.0,
+        )
+        for span in spans:
+            span["start"] -= base
+            if span.get("end") is not None:
+                span["end"] -= base
+        for event in events:
+            event["t"] -= base
+        spans.sort(key=lambda span: (span["start"], str(span["replica"])))
+        events.sort(key=lambda event: (event["t"], str(event["replica"])))
+        return {"spans": spans, "events": events}
+
+    def write_flight_dump(self, path: Any) -> str:
+        """Write the merged flight-recorder timeline as JSONL; returns path."""
+        from repro.tracing.recorder import dump_merged_jsonl
+
+        return dump_merged_jsonl(path, self.merged_flight_events())
+
+    def write_chrome_trace(self, path: Any) -> str:
+        """Write the merged cluster Chrome trace JSON; returns the path."""
+        from repro.tracing.export import chrome_trace_from_records
+
+        merged = self.merged_spans()
+        trace = chrome_trace_from_records(
+            merged["spans"],
+            merged["events"],
+            clock="cluster wall-clock seconds (epoch-aligned), scaled to us",
+        )
+        path = str(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+        return path

@@ -6,13 +6,22 @@ the :class:`~repro.cluster.fixture.ClusterSpec` encoded in its flags, serves
 its endpoint, dials its peers, feeds its workload share into the mempool and
 runs consensus until every transaction in the cluster is committed locally.
 
-It speaks a one-line-JSON protocol on stdout:
+It speaks the one-line-JSON protocol of :mod:`repro.cluster.protocol` on
+stdout: ``ready`` once the listener is bound, ``connected`` once every peer
+dial completed, periodic ``obs`` frames while ``--obs`` is set, and exactly
+one final ``report``.
 
-* ``{"event": "ready", ...}`` once the listener is bound (the launcher can
-  tail progress, but workers self-synchronise by retrying dials).
-* ``{"event": "report", ...}`` exactly once at the end — committed counts,
-  per-transaction wall-clock commit latencies, zero-loss accounting, the
-  transport's byte/message counters and a telemetry snapshot.
+With ``--obs`` the worker activates the full observability stack the
+simulator cells enjoy — a telemetry registry, a tracing runtime (tracer in a
+per-replica id namespace, flight recorder, online invariant monitors with the
+ledger baseline registered) and a :class:`~repro.obs.series.StreamingSampler`
+— and streams periodic obs frames: committed counters, events/sec, mempool
+depth, sliding p50/p99 time-to-commit, per-instance commit digests (the
+launcher's cross-replica agreement input), any monitor violations and the
+flight-recorder ring increment since the previous frame.  The final report
+additionally carries the worker's spans and trace events so the launcher can
+merge one cluster-wide causal trace.  Without ``--obs`` the worker emits zero
+obs frames and its report is byte-identical to the plain protocol.
 
 ``SIGTERM`` drains cleanly: the worker stops waiting, emits its report with
 ``"status": "terminated"`` and exits 0, so a launcher-initiated shutdown is
@@ -23,17 +32,26 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import signal
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.cluster import protocol as wire
 from repro.cluster.fixture import ClusterSpec, build_node, endpoints_for
 from repro.network.asyncio_transport import AsyncioTransport
 from repro.telemetry.core import TelemetryRegistry
 
 #: How often the commit-completion poll wakes up.
 POLL_INTERVAL_S = 0.02
+
+#: Default cadence of obs frames in wall-clock seconds.
+DEFAULT_OBS_CADENCE_S = 0.25
+
+#: Default per-replica flight-recorder ring capacity.
+DEFAULT_RING_CAPACITY = 512
+
+#: Per-instance commit digests carried per obs frame (newest instances).
+COMMIT_DIGEST_WINDOW = 8
 
 
 def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
@@ -48,15 +66,107 @@ def _parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--accounts", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--timeout", type=float, default=60.0)
+    parser.add_argument("--obs", action="store_true")
+    parser.add_argument("--obs-cadence", type=float, default=DEFAULT_OBS_CADENCE_S)
+    parser.add_argument("--ring", type=int, default=DEFAULT_RING_CAPACITY)
     return parser.parse_args(argv)
 
 
-def _emit(payload: Dict[str, Any]) -> None:
-    sys.stdout.write(json.dumps(payload) + "\n")
-    sys.stdout.flush()
+class _ObsShipper:
+    """Builds the periodic obs frames of one worker.
+
+    Holds the incremental-shipping cursors: the flight-ring sequence number
+    and violation count already sent, and the committed count at the previous
+    frame (for the per-frame tx/s rate).
+    """
+
+    def __init__(self, replica_id, replica, transport, tracing, sampler, loop):
+        self.replica_id = replica_id
+        self.replica = replica
+        self.transport = transport
+        self.tracing = tracing
+        self.sampler = sampler
+        self.loop = loop
+        self.frames_sent = 0
+        self._last_ring_seq = -1
+        self._last_violations = 0
+        self._last_committed = 0
+        self._last_t: Optional[float] = None
+
+    def frame(self) -> Dict[str, Any]:
+        now = self.loop.time()
+        transport = self.transport
+        blockchain = self.replica.blockchain
+        self.sampler.tick(now, transport.messages_delivered)
+
+        committed = blockchain.transactions_committed
+        if self._last_t is None:
+            tx_per_s = 0.0
+        else:
+            tx_per_s = (committed - self._last_committed) / max(
+                now - self._last_t, 1e-9
+            )
+        self._last_committed = committed
+        self._last_t = now
+
+        by_instance = blockchain.blocks_by_instance
+        recent = sorted(by_instance)[-COMMIT_DIGEST_WINDOW:]
+        commits = {
+            str(instance): by_instance[instance].block_hash for instance in recent
+        }
+
+        recorder = self.tracing.recorder
+        ring = recorder.events_since(self._last_ring_seq)
+        if len(ring) > wire.MAX_RING_EVENTS_PER_FRAME:
+            ring = ring[-wire.MAX_RING_EVENTS_PER_FRAME :]
+        if ring:
+            self._last_ring_seq = ring[-1]["seq"]
+
+        monitors = self.tracing.monitors
+        fresh_violations = [
+            violation.to_dict()
+            for violation in monitors.violations[self._last_violations :]
+        ]
+        self._last_violations = len(monitors.violations)
+
+        self.frames_sent += 1
+        return {
+            "event": wire.EVENT_OBS,
+            "replica_id": self.replica_id,
+            "t": now,
+            "committed": committed,
+            "blocks": len(by_instance),
+            "tx_per_s": tx_per_s,
+            "events_per_sec": self.sampler.events_per_sec,
+            "mempool": len(blockchain.mempool),
+            "peers": len(transport.connected_peers()),
+            "messages_delivered": transport.messages_delivered,
+            "commit_latency": self.sampler.quantile_current("commit_latency_s"),
+            "spans": len(self.tracing.tracer.spans),
+            "commits": commits,
+            "violations": fresh_violations,
+            "ring": ring,
+        }
+
+    def report_extra(self) -> Dict[str, Any]:
+        """The obs block of the final report: spans, events, monitor status."""
+        tracer = self.tracing.tracer
+        spans = [span.to_dict() for span in tracer.spans]
+        if len(spans) > wire.MAX_REPORT_SPANS:
+            spans = spans[-wire.MAX_REPORT_SPANS :]
+        events = tracer.events
+        if len(events) > wire.MAX_REPORT_SPANS:
+            events = events[-wire.MAX_REPORT_SPANS :]
+        return {
+            "frames_sent": self.frames_sent,
+            "spans": spans,
+            "events": events,
+            "monitors": self.tracing.monitors.status(),
+            "recorder_events": len(self.tracing.recorder),
+        }
 
 
-async def _run(spec: ClusterSpec, replica_id: int) -> int:
+async def _run(spec: ClusterSpec, replica_id: int, args) -> int:
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     terminated = False
@@ -72,20 +182,38 @@ async def _run(spec: ClusterSpec, replica_id: int) -> int:
     telemetry = TelemetryRegistry()
     node = build_node(spec, replica_id)
     replica = node.replica
+
+    tracing = obs = None
+    if args.obs:
+        from repro.obs.core import ObsRuntime
+        from repro.tracing.core import TraceRuntime, replica_id_base
+
+        tracing = TraceRuntime.enabled(
+            recorder_capacity=args.ring, id_base=replica_id_base(replica_id)
+        )
+        tracing.monitors.register_ledger(
+            replica_id, replica.blockchain.conserved_total()
+        )
+        obs = ObsRuntime.enabled(cadence_s=args.obs_cadence)
+        mempool = replica.blockchain.mempool
+        obs.sampler.register_gauge("mempool.pending", lambda: float(len(mempool)))
+        obs.sampler.register_gauge(
+            "mempool.pending_bytes", lambda: float(mempool.pending_bytes)
+        )
+
     transport = AsyncioTransport(
-        replica_id, endpoints_for(spec), telemetry=telemetry
+        replica_id,
+        endpoints_for(spec),
+        telemetry=telemetry,
+        tracing=tracing,
+        obs=obs,
     )
     transport.add_process(replica)
     await transport.start()
-    _emit({"event": "ready", "replica_id": replica_id})
+    offset = wire.epoch_offset(loop)
+    wire.emit(wire.ready_frame(replica_id, offset))
     await transport.connect(timeout=spec.timeout)
-    _emit(
-        {
-            "event": "connected",
-            "replica_id": replica_id,
-            "peers": sorted(transport._writers),
-        }
-    )
+    wire.emit(wire.connected_frame(replica_id, transport.connected_peers()))
 
     # Wall-clock time-to-commit: stamp every share transaction at admission,
     # close the interval when the commit callback lands its block.
@@ -107,6 +235,18 @@ async def _run(spec: ClusterSpec, replica_id: int) -> int:
             stop.set()
 
     replica.on_commit = _hooked_on_commit
+
+    shipper: Optional[_ObsShipper] = None
+    obs_timer: Optional[int] = None
+    if args.obs:
+        shipper = _ObsShipper(replica_id, replica, transport, tracing, obs.sampler, loop)
+
+        def _ship() -> None:
+            nonlocal obs_timer
+            wire.emit(shipper.frame())
+            obs_timer = transport.schedule(args.obs_cadence, _ship, owner=replica_id)
+
+        obs_timer = transport.schedule(args.obs_cadence, _ship, owner=replica_id)
 
     started_at = loop.time()
     accepted = replica.submit_transactions(node.share)
@@ -139,6 +279,8 @@ async def _run(spec: ClusterSpec, replica_id: int) -> int:
             ):
                 replica.submit_instances(1)
     finished_at = loop.time()
+    if obs_timer is not None:
+        transport.cancel(obs_timer)
 
     committed = replica.blockchain.transactions_committed
     done = committed >= node.total_transactions
@@ -148,31 +290,36 @@ async def _run(spec: ClusterSpec, replica_id: int) -> int:
         status = "ok"
     else:
         status = "timeout"
-    _emit(
-        {
-            "event": "report",
-            "status": status,
-            "replica_id": replica_id,
-            "accepted": accepted,
-            "committed": committed,
-            "total_transactions": node.total_transactions,
-            "blocks": len(replica.blockchain.blocks_by_instance),
-            "duration_s": finished_at - started_at,
-            "commit_latencies_s": latencies,
-            "conserved_ok": (
-                replica.blockchain.conserved_total() == node.conserved_baseline
-            ),
-            "commit_rejected": replica.blockchain.stats.commit_rejected,
-            "transport": {
-                "messages_sent": transport.messages_sent,
-                "messages_delivered": transport.messages_delivered,
-                "messages_dropped": transport.messages_dropped,
-                "bytes_sent": transport.bytes_sent,
-            },
-            "chain": replica.chain_summary(),
-            "telemetry": telemetry.snapshot(),
-        }
-    )
+    report = {
+        "event": wire.EVENT_REPORT,
+        "status": status,
+        "replica_id": replica_id,
+        "accepted": accepted,
+        "committed": committed,
+        "total_transactions": node.total_transactions,
+        "blocks": len(replica.blockchain.blocks_by_instance),
+        "duration_s": finished_at - started_at,
+        "commit_latencies_s": latencies,
+        "conserved_ok": (
+            replica.blockchain.conserved_total() == node.conserved_baseline
+        ),
+        "commit_rejected": replica.blockchain.stats.commit_rejected,
+        "transport": {
+            "messages_sent": transport.messages_sent,
+            "messages_delivered": transport.messages_delivered,
+            "messages_dropped": transport.messages_dropped,
+            "bytes_sent": transport.bytes_sent,
+        },
+        "chain": replica.chain_summary(),
+        "telemetry": telemetry.snapshot(),
+    }
+    if shipper is not None:
+        # One last frame so the launcher's dashboard/forensics see the final
+        # state (and the tail of the flight ring) even on a drain.
+        wire.emit(shipper.frame())
+        report["epoch_offset"] = offset
+        report["obs"] = shipper.report_extra()
+    wire.emit(report)
     await transport.close()
     return 0 if status in ("ok", "terminated") else 1
 
@@ -189,8 +336,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         socket_dir=args.socket_dir,
         base_port=args.base_port,
         timeout=args.timeout,
+        obs=args.obs,
     )
-    return asyncio.run(_run(spec, args.replica_id))
+    return asyncio.run(_run(spec, args.replica_id, args))
 
 
 if __name__ == "__main__":

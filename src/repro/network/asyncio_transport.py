@@ -18,6 +18,15 @@ loop), so the by-reference sharing assumptions *within* one process still
 hold; across processes the codec produces equal, independently-verifiable
 copies.
 
+The observability seam mirrors the simulator's, across process boundaries:
+a bound tracing runtime stamps the active :class:`~repro.tracing.core
+.TraceContext` onto every outgoing envelope (``on_send``), the codec carries
+it on the wire, deliveries open child spans under the decoded context, and
+timer callbacks restore the context captured at ``schedule`` time — so one
+payment's causal span tree crosses every worker process it touches.  A bound
+obs runtime gets per-protocol-group message counts fed into its
+:class:`~repro.obs.series.StreamingSampler` exactly like the simulator does.
+
 The telemetry counters mirror the simulator's (``net.messages_sent``,
 ``net.bytes_sent``, ``net.messages_delivered``, ``net.messages_dropped``), so
 snapshots from a real cluster and a simulated run line up column for column.
@@ -151,6 +160,14 @@ class AsyncioTransport(Transport):
     def reconnect(self, replica_id: ReplicaId) -> None:
         self._disconnected.discard(replica_id)
 
+    def connected_peers(self) -> List[ReplicaId]:
+        """Peers with a live outgoing connection (obs frames report these)."""
+        return sorted(
+            peer
+            for peer, writer in self._writers.items()
+            if not writer.is_closing()
+        )
+
     # -- clock and timers ----------------------------------------------------
 
     @property
@@ -171,11 +188,19 @@ class AsyncioTransport(Transport):
             raise SimulationError("timer delay must be non-negative")
         loop = self._require_loop()
         timer_id = next(self._timer_ids)
+        tracing = self.tracing
+        # Capture the context active *now*, restore it around the firing —
+        # same contract as the simulator's timer events, so delayed
+        # continuations stay on their causal chain under real time too.
+        ctx = tracing.tracer.current_ctx if tracing is not None else None
 
         def _fire() -> None:
             self._timers.pop(timer_id, None)
             try:
-                callback()
+                if tracing is None:
+                    callback()
+                else:
+                    tracing.fire_timer(callback, ctx, self.now, owner)
             except Exception:  # noqa: BLE001 - a timer must not kill the loop
                 log.exception("timer callback failed at replica %s", owner)
 
@@ -280,6 +305,14 @@ class AsyncioTransport(Transport):
             telemetry.counter(
                 "net.bytes_sent", protocol=group, kind=message.kind
             ).inc(message.size_bytes() * count)
+        tracing = self.tracing
+        if tracing is not None:
+            # Stamps the active trace context onto the envelope (the codec
+            # then carries it across the socket) and records the send.
+            tracing.on_send(message, self.now)
+        obs = self.obs
+        if obs is not None:
+            obs.sampler.count_message(protocol_group(message.topic), count)
 
     def _count_dropped(self, count: int = 1) -> None:
         self.messages_dropped += count

@@ -29,8 +29,17 @@ built deterministically), so content digests of encoded frames are stable.
 Framing for stream transports: :func:`frame_message` prefixes the encoded
 envelope with a 4-byte big-endian length; :data:`FRAME_HEADER_SIZE` is what a
 reader must consume first.  :meth:`Message.size_bytes` reports exactly
-``len(frame_message(message))`` so byte counters in telemetry mean the same
-thing under the simulator and the asyncio backend.
+``len(frame_message(message))`` of the *bare* envelope so byte counters in
+telemetry mean the same thing under the simulator and the asyncio backend,
+with tracing enabled or not.
+
+Trace propagation: a message whose ``trace_ctx`` is set encodes as a 6-tuple
+whose last element is the ``(trace_id, span_id)`` pair, so causality survives
+the socket and a delivery on the far side opens its child span under the
+sender's context.  A message without a context encodes as the original
+5-tuple — byte-identical to the pre-trace wire format — and decoders accept
+both shapes, so old frames (and peers that never stamp contexts) interoperate
+unchanged.
 """
 
 from __future__ import annotations
@@ -225,36 +234,53 @@ def decode_value(data: bytes) -> Any:
 # -- message envelopes -------------------------------------------------------
 
 
-def encode_message(message: Message) -> bytes:
-    """Encode a full envelope (sender, recipient, topic, kind, body)."""
-    return encode_value(
-        (
-            message.sender,
-            message.recipient,
-            message.topic.canonical,
-            message.kind,
-            message.body,
-        )
+def encode_message(message: Message, include_trace: bool = True) -> bytes:
+    """Encode a full envelope (sender, recipient, topic, kind, body[, trace]).
+
+    A set ``trace_ctx`` rides as a sixth ``(trace_id, span_id)`` element when
+    ``include_trace`` is true; without a context the envelope is the original
+    5-tuple, byte for byte.
+    """
+    fields: Tuple[Any, ...] = (
+        message.sender,
+        message.recipient,
+        message.topic.canonical,
+        message.kind,
+        message.body,
     )
+    ctx = message.trace_ctx if include_trace else None
+    if ctx is not None:
+        fields = fields + ((ctx.trace_id, ctx.span_id),)
+    return encode_value(fields)
 
 
 def decode_message(data: bytes) -> Message:
     """Rebuild a :class:`Message` from :func:`encode_message` bytes.
 
     The decoded envelope gets a fresh local ``uid`` (uids are process-local
-    tie-breakers, not wire identity).
+    tie-breakers, not wire identity).  Both envelope shapes decode: the bare
+    5-tuple and the traced 6-tuple, whose ``(trace_id, span_id)`` tail is
+    restored as the message's ``trace_ctx``.
     """
     fields = decode_value(data)
-    if not isinstance(fields, tuple) or len(fields) != 5:
-        raise CodecError("wire envelope is not a 5-tuple")
-    sender, recipient, topic_text, kind, body = fields
-    return Message(
+    if not isinstance(fields, tuple) or len(fields) not in (5, 6):
+        raise CodecError("wire envelope is not a 5- or 6-tuple")
+    sender, recipient, topic_text, kind, body = fields[:5]
+    message = Message(
         sender=sender,
         recipient=recipient,
         protocol=Topic.parse(topic_text),
         kind=kind,
         body=body,
     )
+    if len(fields) == 6 and fields[5] is not None:
+        wire_ctx = fields[5]
+        if not isinstance(wire_ctx, tuple) or len(wire_ctx) != 2:
+            raise CodecError("wire trace context is not a (trace, span) pair")
+        from repro.tracing.core import TraceContext
+
+        message.trace_ctx = TraceContext(wire_ctx[0], wire_ctx[1])
+    return message
 
 
 def frame_message(message: Message) -> bytes:
@@ -266,8 +292,15 @@ def frame_message(message: Message) -> bytes:
 
 
 def message_frame_size(message: Message) -> int:
-    """Exact frame length of ``message`` (header plus encoded envelope)."""
-    return FRAME_HEADER_SIZE + len(encode_message(message))
+    """Frame length of the bare envelope (header plus encoded 5-tuple).
+
+    Deliberately excludes the optional trace-context tail: ``size_bytes`` is
+    memoised and feeds telemetry byte counters, which must report the same
+    number whether or not tracing happens to have stamped the message —
+    fixed-seed byte-identity with tracing on/off depends on it.  The traced
+    frame a socket actually writes is a handful of bytes longer.
+    """
+    return FRAME_HEADER_SIZE + len(encode_message(message, include_trace=False))
 
 
 # -- standard registrations --------------------------------------------------

@@ -81,11 +81,13 @@ class Message:
     def size_bytes(self) -> int:
         """Memoised exact wire size: the codec's length-prefixed frame length.
 
-        This is what the asyncio transport actually writes per recipient, so
-        per-protocol byte counters in telemetry/obs mean the same thing under
-        the simulator and the real backend.  Bodies carrying objects the codec
-        does not know (test doubles) fall back to the canonical-encoding
-        estimate (:func:`estimate_size_bytes`).
+        This is what the asyncio transport writes per recipient for an
+        untraced message, so per-protocol byte counters in telemetry/obs mean
+        the same thing under the simulator and the real backend.  The optional
+        trace-context tail is excluded on purpose: counters must not change
+        when tracing stamps a context (see ``codec.message_frame_size``).
+        Bodies carrying objects the codec does not know (test doubles) fall
+        back to the canonical-encoding estimate (:func:`estimate_size_bytes`).
         """
         size = self._size
         if size is None:

@@ -190,6 +190,18 @@ class StreamingSampler:
             ring = self._rings[name] = SeriesRing(self.ring_points)
         ring.append(sim_time, value)
 
+    # -- live reads (obs frames / dashboards) ----------------------------------
+
+    @property
+    def events_per_sec(self) -> float:
+        """Host event rate measured at the most recent tick (0 before it)."""
+        return self._events_per_sec
+
+    def quantile_current(self, name: str) -> Dict[str, float]:
+        """Sliding-window p50/p99 of one observed series (empty if unseen)."""
+        quantile = self._quantiles.get(name)
+        return quantile.current() if quantile is not None else {}
+
     # -- snapshot / export -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

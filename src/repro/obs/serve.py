@@ -4,8 +4,13 @@
 :class:`WatchServer` next to the terminal watcher: ``GET /metrics`` returns
 the sweep state as Prometheus text format, ``GET /state`` as JSON.  The
 server binds loopback only, runs on a daemon thread, and reads the same
-:class:`~repro.obs.watch.SweepWatcher` the terminal renders from — it adds
-no publishers, no extra queues and no load on the workers.
+watcher object the terminal renders from — it adds no publishers, no extra
+queues and no load on the workers.
+
+The watcher is duck-typed: anything with thread-safe ``prometheus_text()``
+and ``state()`` methods serves — :class:`~repro.obs.watch.SweepWatcher` for
+simulator sweeps, :class:`~repro.cluster.watch.ClusterWatcher` for real
+clusters (``python -m repro.cluster --serve PORT``).
 """
 
 from __future__ import annotations
@@ -13,13 +18,11 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
-
-from repro.obs.watch import SweepWatcher
+from typing import Any, Optional
 
 
 class _WatchHandler(BaseHTTPRequestHandler):
-    watcher: SweepWatcher  # set on the handler subclass by WatchServer
+    watcher: Any  # set on the handler subclass by WatchServer
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/metrics":
@@ -46,7 +49,7 @@ class _WatchHandler(BaseHTTPRequestHandler):
 class WatchServer:
     """Loopback HTTP server publishing a watcher's state."""
 
-    def __init__(self, watcher: SweepWatcher, port: int, host: str = "127.0.0.1"):
+    def __init__(self, watcher: Any, port: int, host: str = "127.0.0.1"):
         handler = type("BoundWatchHandler", (_WatchHandler,), {"watcher": watcher})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None

@@ -119,15 +119,23 @@ class Span:
 
 
 class Tracer:
-    """Collects spans and structured events for one traced run."""
+    """Collects spans and structured events for one traced run.
 
-    def __init__(self) -> None:
+    ``id_base`` namespaces the id counters: every process of a distributed
+    run picks a disjoint base (the cluster worker uses
+    :func:`replica_id_base`), so span and trace ids stay globally unique and
+    per-worker span sets merge into one tree without renumbering.  The
+    default base 0 keeps single-process ids small and stable.
+    """
+
+    def __init__(self, id_base: int = 0) -> None:
         self.spans: List[Span] = []
         #: Structured point events: dicts with name/replica/t/trace/span plus
         #: free-form attrs — the critical-path analysis input.
         self.events: List[Dict[str, Any]] = []
-        self._span_ids = itertools.count(1)
-        self._trace_ids = itertools.count(1)
+        self.id_base = id_base
+        self._span_ids = itertools.count(id_base + 1)
+        self._trace_ids = itertools.count(id_base + 1)
         self._active: Optional[TraceContext] = None
 
     # -- context ----------------------------------------------------------------
@@ -274,14 +282,21 @@ class TraceRuntime:
         recorder_capacity: int = 512,
         dump_path: Optional[Any] = None,
         strict: bool = False,
+        id_base: int = 0,
     ) -> "TraceRuntime":
-        """A fully wired runtime: tracer + flight recorder + monitors."""
+        """A fully wired runtime: tracer + flight recorder + monitors.
+
+        ``id_base`` namespaces span/trace ids (see :class:`Tracer`); cluster
+        workers pass :func:`replica_id_base` so per-process traces merge.
+        """
         from repro.tracing.monitors import MonitorSet
         from repro.tracing.recorder import FlightRecorder
 
         recorder = FlightRecorder(capacity=recorder_capacity)
         monitors = MonitorSet(recorder=recorder, dump_path=dump_path, strict=strict)
-        return cls(recorder=recorder, monitors=monitors)
+        return cls(
+            tracer=Tracer(id_base=id_base), recorder=recorder, monitors=monitors
+        )
 
     # -- simulator hooks -----------------------------------------------------------
 
@@ -365,6 +380,20 @@ class TraceRuntime:
         if self.recorder is not None:
             summary["recorder_events"] = len(self.recorder)
         return summary
+
+
+#: Id-namespace width per cluster worker: 2**40 spans/traces per process is
+#: far beyond any run while keeping merged ids well inside float-exact range.
+_ID_BASE_STRIDE = 1 << 40
+
+
+def replica_id_base(replica_id: int) -> int:
+    """The disjoint :class:`Tracer` id namespace of one cluster worker.
+
+    Offset by one stride so worker 0 does not collide with the default
+    ``id_base=0`` namespace of a launcher-side (or simulator) tracer.
+    """
+    return (replica_id + 1) * _ID_BASE_STRIDE
 
 
 # -- the current runtime ---------------------------------------------------------

@@ -61,6 +61,63 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     }
 
 
+def chrome_trace_from_records(
+    spans: List[Dict[str, Any]],
+    events: Optional[List[Dict[str, Any]]] = None,
+    clock: str = "simulated seconds, scaled to us",
+) -> Dict[str, Any]:
+    """A Chrome trace built from plain span/event dicts instead of a Tracer.
+
+    The cluster launcher merges per-worker span records (the
+    :meth:`~repro.tracing.core.Span.to_dict` shape, with ``start``/``end``
+    already mapped onto the shared cluster clock) that crossed process
+    boundaries as JSON — there is no shared ``Tracer`` object to export from.
+    Output is identical in shape to :func:`chrome_trace`, so both open in
+    ``chrome://tracing``/Perfetto and both feed the ``scenarios trace``
+    tooling.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for span in spans:
+        args: Dict[str, Any] = {"trace": span["trace"], "span": span["span"]}
+        if span.get("parent") is not None:
+            args["parent"] = span["parent"]
+        if span.get("attrs"):
+            args.update(span["attrs"])
+        start = span["start"]
+        end = span["end"] if span.get("end") is not None else start
+        trace_events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "pid": _pid(span.get("replica")),
+                "tid": span["trace"],
+                "ts": start * _US,
+                "dur": (end - start) * _US,
+                "args": args,
+            }
+        )
+    for event in events or []:
+        trace_events.append(
+            {
+                "name": event["name"],
+                "ph": "i",
+                "s": "t",
+                "pid": _pid(event.get("replica")),
+                "tid": event["trace"] if event.get("trace") is not None else 0,
+                "ts": event["t"] * _US,
+                "args": dict(event.get("attrs") or {}),
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "traces": len({span["trace"] for span in spans}),
+            "clock": clock,
+        },
+    }
+
+
 def _pid(replica: Any) -> int:
     """Replica id as a Chrome process id (non-int replicas hash stably)."""
     if isinstance(replica, int):

@@ -78,6 +78,22 @@ class FlightRecorder:
 
     # -- reading -----------------------------------------------------------------
 
+    def events_since(self, seq: int) -> List[Dict[str, Any]]:
+        """Retained events with sequence number strictly greater than ``seq``.
+
+        The cluster worker ships its ring incrementally: each obs frame
+        carries only the events recorded since the previous frame, so a
+        long-lived worker never re-sends its whole ring.
+        """
+        fresh = [
+            event
+            for buffer in self._buffers.values()
+            for event in buffer
+            if event["seq"] > seq
+        ]
+        fresh.sort(key=lambda event: (event["t"], event["seq"]))
+        return fresh
+
     def __len__(self) -> int:
         """Events currently retained (not the total ever recorded)."""
         return sum(len(buffer) for buffer in self._buffers.values())
@@ -131,3 +147,56 @@ class FlightRecorder:
                 f"{event['type']:<7} {event['detail']}{trace}"
             )
         return "\n".join(lines)
+
+
+# -- cross-process merging -----------------------------------------------------
+
+
+def merge_worker_events(
+    events_by_worker: Dict[Any, List[Dict[str, Any]]],
+    offsets: Optional[Dict[Any, float]] = None,
+) -> List[Dict[str, Any]]:
+    """Causally merge per-worker flight-recorder events into one timeline.
+
+    Each worker of a real cluster records event times on its *own* monotonic
+    clock, so raw ``t`` values are not comparable across processes.  Workers
+    report an epoch offset estimate (``time.time() - loop.time()``, sampled
+    once at startup); adding it maps every event onto the shared wall clock.
+    The merged timeline is normalised to start at zero (``t_cluster``) and
+    sorted by ``(t_cluster, worker, seq)`` — within one worker that preserves
+    the true causal record order, across workers it is as causal as NTP-grade
+    clock agreement allows, which is exactly what a post-mortem needs.
+
+    Every merged event keeps its original fields and gains ``worker`` (the
+    reporting replica) and ``t_cluster``.
+    """
+    offsets = offsets or {}
+    merged: List[Dict[str, Any]] = []
+    for worker, events in events_by_worker.items():
+        offset = offsets.get(worker, 0.0)
+        for event in events:
+            entry = dict(event)
+            entry["worker"] = worker
+            entry["t_cluster"] = event["t"] + offset
+            merged.append(entry)
+    if not merged:
+        return merged
+    base = min(event["t_cluster"] for event in merged)
+    for event in merged:
+        event["t_cluster"] -= base
+    merged.sort(key=lambda e: (e["t_cluster"], str(e["worker"]), e["seq"]))
+    return merged
+
+
+def dump_merged_jsonl(path: Any, events: List[Dict[str, Any]]) -> str:
+    """Write a merged cluster timeline as JSONL; returns the path.
+
+    Same one-event-per-line shape as :meth:`FlightRecorder.dump_jsonl`, so
+    the ``scenarios trace`` tooling and ``jq``/pandas consume both alike.
+    """
+    path = str(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return path

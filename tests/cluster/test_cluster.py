@@ -163,15 +163,154 @@ class TestClusterCLI:
         assert result["zero_loss"] is True
         assert result["latency_p50_s"] > 0
         assert result["latency_p99_s"] >= result["latency_p50_s"]
+        # Disabled-mode satellite: a no-obs run streams zero obs frames.
+        assert result["obs_frames"] == 0
+        assert result["violations"] == []
         assert len(result["replicas"]) == 4
         for report in result["replicas"].values():
             assert report["status"] == "ok"
             assert report["transport"]["messages_sent"] > 0
-            assert "counters" in report["telemetry"]
+            assert report["latency_p50_s"] > 0
+            # Compact form: counters only, no raw arrays or snapshots.
+            assert "telemetry" not in report
+            assert "commit_latencies_s" not in report
+
+    def test_no_obs_report_shape_is_unchanged(self, tmp_path):
+        # Acceptance pin: with observability off, the worker report carries
+        # exactly the pre-obs key set — no trace fields leak in, and the
+        # JSON bytes a no-obs consumer parses are structurally identical.
+        from repro.cluster.launcher import run_cluster
+
+        spec = _spec(tmp_path, n=2, transactions=10, batch_size=5)
+        result = run_cluster(spec)
+        assert result.ok, result.crashes
+        assert result.obs_frames == 0
+        for report in result.reports.values():
+            assert set(report.keys()) == {
+                "event",
+                "status",
+                "replica_id",
+                "accepted",
+                "committed",
+                "total_transactions",
+                "blocks",
+                "duration_s",
+                "commit_latencies_s",
+                "conserved_ok",
+                "commit_rejected",
+                "transport",
+                "chain",
+                "telemetry",
+            }
+
+    def test_obs_cluster_merges_one_trace_across_processes(self, tmp_path):
+        # Tentpole acceptance: an n=4 run with tracing produces ONE merged
+        # span tree whose root-to-commit path crosses >= 3 distinct worker
+        # OS processes (pid = replica in the Chrome trace).
+        artifacts = tmp_path / "artifacts"
+        out_path = tmp_path / "cluster.json"
+        proc = _run_cluster_cli(
+            [
+                "--n", "4",
+                "--transport", "uds",
+                "--transactions", "40",
+                "--batch-size", "10",
+                "--timeout", "60",
+                "--obs",
+                "--artifacts", str(artifacts),
+                "--json", str(out_path),
+            ]
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        result = json.loads(out_path.read_text())
+        assert result["ok"] is True
+        assert result["obs_frames"] > 0
+        for report in result["replicas"].values():
+            assert report["obs_frames_sent"] > 0
+            assert report["spans"] > 0
+
+        trace = json.loads((artifacts / "cluster-trace.json").read_text())
+        events = trace["traceEvents"]
+        assert events
+        # Group every span/instant by trace id; the consensus instance's
+        # causal tree must span at least 3 of the 4 worker processes.
+        pids_by_trace = {}
+        for event in events:
+            if event["ph"] == "X":
+                trace_id = event["args"]["trace"]
+            else:
+                trace_id = event.get("tid")
+            if trace_id:
+                pids_by_trace.setdefault(trace_id, set()).add(event["pid"])
+        assert max(len(pids) for pids in pids_by_trace.values()) >= 3
+        # The commit events themselves land on >= 3 distinct processes and
+        # are attributed to a trace (the proposer's causal chain).
+        commits = [e for e in events if e["name"] == "zlb.commit"]
+        assert len({e["pid"] for e in commits}) >= 3
+        assert all(e["tid"] for e in commits)
+
+    def test_serve_exposes_live_metrics_and_state(self, tmp_path):
+        # The launcher's HTTP plane, polled while the cluster is running:
+        # per-replica committed counters and p99 time-to-commit series.
+        import threading
+        import urllib.request
+
+        from repro.cluster.launcher import _free_tcp_port, run_cluster
+
+        port = _free_tcp_port()
+        spec = _spec(tmp_path, transactions=600, batch_size=30, timeout=90.0,
+                     obs=True)
+        results = {}
+
+        def _drive():
+            results["result"] = run_cluster(spec, serve_port=port)
+
+        thread = threading.Thread(target=_drive, daemon=True)
+        thread.start()
+        metrics = state = None
+        deadline = time.monotonic() + 60
+        try:
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/metrics", timeout=2
+                    ) as response:
+                        text = response.read().decode()
+                except OSError:
+                    time.sleep(0.05)
+                    continue
+                if (
+                    'repro_cluster_replica_committed_total{replica="0"}' in text
+                    and 'quantile="p99"' in text
+                ):
+                    metrics = text
+                    with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/state", timeout=2
+                    ) as response:
+                        state = json.loads(response.read().decode())
+                    break
+                time.sleep(0.05)
+        finally:
+            thread.join(timeout=120)
+        assert metrics is not None, "never saw live per-replica series"
+        for replica_id in range(4):
+            assert (
+                f'repro_cluster_replica_committed_total{{replica="{replica_id}"}}'
+                in metrics
+            )
+        assert "repro_cluster_commit_latency_seconds" in metrics
+        assert state["n"] == 4
+        assert len(state["replicas"]) == 4
+        result = results["result"]
+        assert result.ok
+        assert result.serve_port == port
 
     def test_killed_replica_is_detected_not_hung(self, tmp_path):
         # Satellite: a killed replica must surface as a crash report (exit
-        # code + log line), never as a hang until the outer test timeout.
+        # code + log line), never as a hang until the outer test timeout —
+        # and, with obs on, the launcher must write a causally merged flight
+        # dump that still carries the dead replica's last shipped events.
+        artifacts = tmp_path / "artifacts"
         env = dict(os.environ)
         src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
         env["PYTHONPATH"] = os.path.abspath(src)
@@ -182,7 +321,10 @@ class TestClusterCLI:
                 "--transport", "uds",
                 "--transactions", "4000",
                 "--batch-size", "10",
+                "--accounts", "64",
                 "--timeout", "90",
+                "--obs",
+                "--artifacts", str(artifacts),
                 "--log-level", "error",
             ],
             stdout=subprocess.PIPE,
@@ -205,6 +347,10 @@ class TestClusterCLI:
                     victim = pids[0]
                 time.sleep(0.1)
             assert victim is not None, "worker 3 never appeared"
+            # Let the victim finish its startup (keys + 4000-tx workload
+            # build) and ship a few obs frames (flight-ring increments), so
+            # forensics have something to say about it when it dies.
+            time.sleep(8.0)
             os.kill(victim, signal.SIGKILL)
             stdout, stderr = proc.communicate(timeout=120)
         except subprocess.TimeoutExpired:
@@ -212,3 +358,14 @@ class TestClusterCLI:
             raise
         assert proc.returncode != 0
         assert "crashed" in stdout + stderr
+        # The merged flight dump exists and names the dead replica's last
+        # causal events (its increments survived it at the launcher).
+        flight_path = artifacts / "cluster-flight.jsonl"
+        assert flight_path.exists(), stdout + stderr
+        events = [json.loads(line) for line in flight_path.open()]
+        victim_events = [event for event in events if event["worker"] == 3]
+        assert victim_events, "dead replica left no events in the dump"
+        assert all("t_cluster" in event for event in events)
+        # Causal order on the shared cluster clock.
+        times = [event["t_cluster"] for event in events]
+        assert times == sorted(times)

@@ -1,0 +1,270 @@
+"""ClusterWatcher unit tests: ingestion, monitors, stall tolerance, merging.
+
+These run without any subprocesses — frames are hand-built dicts in the
+:mod:`repro.cluster.protocol` shapes — so the aggregation plane's invariants
+(cross-replica agreement, stalled-row degradation, causal merging onto the
+shared cluster clock) are pinned fast and deterministically.
+"""
+
+import io
+import json
+import queue
+import time
+from time import perf_counter
+
+from repro.cluster import protocol as wire
+from repro.cluster.watch import STALL_AFTER_S, ClusterWatcher
+
+
+def _obs_frame(replica_id, **overrides):
+    frame = {
+        "event": wire.EVENT_OBS,
+        "replica_id": replica_id,
+        "t": 1.0,
+        "committed": 10,
+        "blocks": 1,
+        "tx_per_s": 5.0,
+        "events_per_sec": 100.0,
+        "mempool": 3,
+        "peers": 3,
+        "messages_delivered": 42,
+        "commit_latency": {"p50": 0.1, "p99": 0.4},
+        "spans": 7,
+        "commits": {},
+        "violations": [],
+        "ring": [],
+    }
+    frame.update(overrides)
+    return frame
+
+
+class TestIngestion:
+    def test_frames_update_rows_and_serve_surface(self):
+        watcher = ClusterWatcher(n=2, total_transactions=40)
+        watcher.ingest(wire.ready_frame(0, offset=100.0))
+        watcher.ingest(wire.connected_frame(0, [1]))
+        watcher.ingest(_obs_frame(0))
+
+        state = watcher.state()
+        assert state["obs_frames"] == 1
+        row = state["replicas"][0]
+        assert row["status"] == "running"
+        assert row["committed"] == 10
+        assert row["latency"]["p99"] == 0.4
+        assert row["frame_age_s"] is not None
+
+        text = watcher.prometheus_text()
+        assert 'repro_cluster_replica_committed_total{replica="0"} 10' in text
+        assert (
+            'repro_cluster_commit_latency_seconds{replica="0",quantile="p99"}'
+            in text
+        )
+        assert "repro_cluster_obs_frames_total 1" in text
+
+    def test_report_frame_finishes_row(self):
+        watcher = ClusterWatcher(n=1)
+        watcher.ingest(
+            {
+                "event": wire.EVENT_REPORT,
+                "replica_id": 0,
+                "status": "ok",
+                "committed": 40,
+                "total_transactions": 40,
+                "blocks": 4,
+            }
+        )
+        row = watcher.state()["replicas"][0]
+        assert row["status"] == "done"
+        assert row["committed"] == 40
+
+    def test_worker_violations_are_attributed(self):
+        watcher = ClusterWatcher(n=2)
+        watcher.ingest(
+            _obs_frame(
+                1,
+                violations=[{"invariant": "zero-loss", "detail": "supply drift"}],
+            )
+        )
+        assert len(watcher.violations) == 1
+        assert watcher.violations[0]["replica_id"] == 1
+        assert watcher.violations[0]["invariant"] == "zero-loss"
+
+
+class TestAgreementMonitor:
+    def test_matching_digests_are_fine(self):
+        watcher = ClusterWatcher(n=2)
+        watcher.ingest(_obs_frame(0, commits={"0": "abc", "1": "def"}))
+        watcher.ingest(_obs_frame(1, commits={"0": "abc", "1": "def"}))
+        assert watcher.violations == []
+
+    def test_conflicting_digest_trips_once(self):
+        watcher = ClusterWatcher(n=3)
+        watcher.ingest(_obs_frame(0, commits={"2": "aaaaaaaaaaaaaaaa"}))
+        watcher.ingest(_obs_frame(1, commits={"2": "bbbbbbbbbbbbbbbb"}))
+        # A third sighting of the same disagreement must not duplicate it.
+        watcher.ingest(_obs_frame(2, commits={"2": "aaaaaaaaaaaaaaaa"}))
+        agreement = [
+            v for v in watcher.violations if v["invariant"] == "commit-agreement"
+        ]
+        assert len(agreement) == 1
+        assert agreement[0]["instance"] == 2
+        assert "conflicting" in agreement[0]["detail"]
+
+    def test_lagging_replica_is_not_a_violation(self):
+        # Safety, not liveness: one replica being instances behind is fine.
+        watcher = ClusterWatcher(n=2)
+        watcher.ingest(_obs_frame(0, commits={"0": "abc", "5": "xyz"}))
+        watcher.ingest(_obs_frame(1, commits={"0": "abc"}))
+        assert watcher.violations == []
+
+
+class TestStallTolerance:
+    def test_fresh_row_is_not_stalled(self):
+        watcher = ClusterWatcher(n=1)
+        watcher.ingest(_obs_frame(0))
+        assert watcher.state()["replicas"][0]["stalled"] is False
+
+    def test_old_frame_age_degrades_the_row(self):
+        watcher = ClusterWatcher(n=1)
+        watcher.ingest(_obs_frame(0))
+        row = watcher.rows[0]
+        row.last_frame_wall = perf_counter() - (STALL_AFTER_S + 1.0)
+        snapshot = watcher.state()["replicas"][0]
+        assert snapshot["stalled"] is True
+        assert snapshot["frame_age_s"] > STALL_AFTER_S
+        assert "stalled" in "\n".join(watcher._table_lines())
+
+    def test_finished_row_never_reports_stalled(self):
+        watcher = ClusterWatcher(n=1)
+        watcher.ingest(_obs_frame(0))
+        watcher.ingest(
+            {
+                "event": wire.EVENT_REPORT,
+                "replica_id": 0,
+                "status": "ok",
+                "committed": 1,
+                "total_transactions": 1,
+                "blocks": 1,
+            }
+        )
+        watcher.rows[0].last_frame_wall = perf_counter() - (STALL_AFTER_S + 1.0)
+        assert watcher.state()["replicas"][0]["stalled"] is False
+
+    def test_pump_keeps_rendering_with_an_empty_queue(self):
+        # The satellite fix: a wedged worker must not freeze the dashboard.
+        # The pump drains with a timeout and refreshes on *every* timeout, so
+        # frame ages keep climbing with zero frames arriving.
+        out = io.StringIO()
+        watcher = ClusterWatcher(n=2, out=out, render=True, poll_s=0.05)
+        frames = queue.Queue()
+        watcher.start(frames)
+        try:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline and not out.getvalue():
+                time.sleep(0.02)
+        finally:
+            watcher.finish()
+        assert "cluster:" in out.getvalue()
+
+
+class TestCausalMerge:
+    def test_flight_events_merge_onto_cluster_clock(self):
+        watcher = ClusterWatcher(n=2)
+        # Worker 1's monotonic clock started 5s "later" on the wall clock.
+        watcher.ingest(wire.ready_frame(0, offset=1000.0))
+        watcher.ingest(wire.ready_frame(1, offset=1005.0))
+        watcher.ingest(
+            _obs_frame(
+                0,
+                ring=[
+                    {"seq": 1, "t": 10.0, "replica": 0, "type": "send",
+                     "detail": "a", "trace": None},
+                    {"seq": 2, "t": 12.0, "replica": 0, "type": "deliver",
+                     "detail": "b", "trace": None},
+                ],
+            )
+        )
+        watcher.ingest(
+            _obs_frame(
+                1,
+                ring=[
+                    {"seq": 1, "t": 6.0, "replica": 1, "type": "send",
+                     "detail": "c", "trace": None},
+                ],
+            )
+        )
+        merged = watcher.merged_flight_events()
+        assert [event["worker"] for event in merged] == [0, 1, 0]
+        assert merged[0]["t_cluster"] == 0.0  # normalised to a zero base
+        assert merged[1]["t_cluster"] == 1.0  # 6 + 1005 vs 10 + 1000
+        assert merged[2]["t_cluster"] == 2.0
+
+    def test_dead_workers_events_survive_in_the_dump(self, tmp_path):
+        watcher = ClusterWatcher(n=2)
+        watcher.ingest(wire.ready_frame(1, offset=0.0))
+        watcher.ingest(
+            _obs_frame(
+                1,
+                ring=[
+                    {"seq": 9, "t": 3.0, "replica": 1, "type": "send",
+                     "detail": "last words", "trace": "t1:s1"},
+                ],
+            )
+        )
+        watcher.note_crash(1, -9)
+        path = watcher.write_flight_dump(tmp_path / "flight.jsonl")
+        lines = [json.loads(line) for line in open(path)]
+        assert any(
+            line["worker"] == 1 and line["detail"] == "last words"
+            for line in lines
+        )
+        assert watcher.state()["replicas"][1]["status"] == "crashed"
+
+    def test_merged_spans_and_chrome_trace(self, tmp_path):
+        watcher = ClusterWatcher(n=2)
+        watcher.ingest(wire.ready_frame(0, offset=100.0))
+        watcher.ingest(wire.ready_frame(1, offset=104.0))
+        for replica_id, start in ((0, 10.0), (1, 7.0)):
+            watcher.ingest(
+                {
+                    "event": wire.EVENT_REPORT,
+                    "replica_id": replica_id,
+                    "status": "ok",
+                    "committed": 1,
+                    "total_transactions": 1,
+                    "blocks": 1,
+                    "epoch_offset": 100.0 + 4.0 * replica_id,
+                    "obs": {
+                        "spans": [
+                            {
+                                "trace": 7,
+                                "span": replica_id + 1,
+                                "parent": None,
+                                "name": "asmr.instance",
+                                "replica": replica_id,
+                                "start": start,
+                                "end": start + 1.0,
+                            }
+                        ],
+                        "events": [
+                            {
+                                "name": "zlb.commit",
+                                "replica": replica_id,
+                                "t": start + 0.5,
+                                "trace": 7,
+                                "attrs": {},
+                            }
+                        ],
+                    },
+                }
+            )
+        merged = watcher.merged_spans()
+        # Worker 0's span lands at wall 110, worker 1's at 111; base is 110.
+        assert [span["start"] for span in merged["spans"]] == [0.0, 1.0]
+        assert [span["replica"] for span in merged["spans"]] == [0, 1]
+        path = watcher.write_chrome_trace(tmp_path / "trace.json")
+        trace = json.load(open(path))
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"asmr.instance", "zlb.commit"} <= names
+        pids = {event["pid"] for event in trace["traceEvents"]}
+        assert pids == {0, 1}

@@ -36,6 +36,7 @@ from repro.network.codec import (
 )
 from repro.network.message import Message
 from repro.network.topic import Topic
+from repro.tracing.core import TraceContext
 
 
 def roundtrip(value):
@@ -269,6 +270,55 @@ class TestMessageEnvelopes:
             sender=0, recipient=1, protocol="t", kind="K", body={"x": Alien()}
         )
         assert message.size_bytes() > 0  # estimate fallback, no raise
+
+    def test_trace_context_rides_the_wire(self):
+        # Tentpole: a payment's causal chain must survive process hops, so
+        # the envelope optionally carries (trace id, span id).
+        message = Message(
+            sender=0, recipient=2, protocol="t", kind="K", body={"x": 1}
+        )
+        message.trace_ctx = TraceContext(41, 17)
+        decoded = decode_message(encode_message(message))
+        assert decoded.trace_ctx is not None
+        assert decoded.trace_ctx.trace_id == 41
+        assert decoded.trace_ctx.span_id == 17
+        assert decoded.body == message.body
+
+    def test_untraced_frames_stay_byte_identical(self):
+        # Backward compat pin: a message without trace context encodes to the
+        # exact bytes the pre-trace codec produced (the 5-tuple envelope), so
+        # old recorded frames and mixed-version runs interoperate.
+        message = Message(
+            sender=1, recipient=None, protocol="t", kind="K", body={"n": 7}
+        )
+        golden = bytes.fromhex("50353b49313b4e53313b7453313b4b44313b53313b6e49373b")
+        assert encode_message(message) == golden
+        decoded = decode_message(golden)
+        assert decoded.trace_ctx is None
+        assert decoded.body == {"n": 7}
+
+    def test_include_trace_false_strips_the_tail(self):
+        traced = Message(
+            sender=1, recipient=None, protocol="t", kind="K", body={"n": 7}
+        )
+        traced.trace_ctx = TraceContext(5, 9)
+        bare = Message(
+            sender=1, recipient=None, protocol="t", kind="K", body={"n": 7}
+        )
+        assert encode_message(traced, include_trace=False) == encode_message(bare)
+        assert len(encode_message(traced)) > len(encode_message(bare))
+
+    def test_size_bytes_ignores_trace_context(self):
+        # Byte-identity pin: size_bytes feeds the simulator's telemetry byte
+        # counters and is memoised, so stamping a context after the fact must
+        # not change it — fixed-seed byte counters agree with tracing on/off.
+        message = Message(
+            sender=1, recipient=None, protocol="t", kind="K", body={"n": 7}
+        )
+        before = message.size_bytes()
+        message.trace_ctx = TraceContext(5, 9)
+        assert message.size_bytes() == before
+        assert message_frame_size(message) == before
 
     def test_protocol_shaped_body_roundtrip(self):
         # The CONFIRM/POFS body shapes: int-keyed proposal maps, digests,
